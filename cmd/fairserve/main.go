@@ -1,0 +1,79 @@
+// Command fairserve runs the fairrank platform server: an HTTP API for
+// dataset upload, task posting, filtered ranking and fairness audits,
+// backed by the embedded append-only store.
+//
+// Usage:
+//
+//	fairserve -addr :8080 -db fairrank.db
+//	fairserve -addr :8080 -db fairrank.db -bootstrap 500   # preload a demo population
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/tasks -d '{"id":"gig","dataset":"demo","weights":{"LanguageTest":1}}'
+//	curl 'localhost:8080/v1/rank?task=gig&k=5&q=Gender%20%3D%20%27Female%27'
+//	curl -X POST localhost:8080/v1/audits -d '{"dataset":"demo","algorithm":"balanced","weights":{"LanguageTest":1}}'
+package main
+
+import (
+	"bytes"
+	"flag"
+	"log"
+	"net/http"
+
+	"fairrank/internal/server"
+	"fairrank/internal/simulate"
+	"fairrank/internal/store"
+)
+
+// bootstrapDemo generates a synthetic population and stores it under the
+// dataset name "demo", so a fresh server has something to rank and audit.
+func bootstrapDemo(db *store.DB, n int, seed uint64) error {
+	ds, err := simulate.PaperWorkers(n, seed)
+	if err != nil {
+		return err
+	}
+	var snap bytes.Buffer
+	if err := ds.WriteBinary(&snap); err != nil {
+		return err
+	}
+	return db.Put("datasets", "demo", snap.Bytes())
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairserve: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dbPath     = flag.String("db", "fairrank.db", "path to the embedded store")
+		sync       = flag.Bool("sync", false, "fsync after every write")
+		bootstrap  = flag.Int("bootstrap", 0, "preload a synthetic population of this size as dataset \"demo\"")
+		seed       = flag.Uint64("seed", 42, "bootstrap generation seed")
+		auditLimit = flag.Int("audit-limit", 4, "maximum concurrent audit requests (excess get 503)")
+	)
+	flag.Parse()
+
+	db, err := store.Open(*dbPath, store.Options{Sync: *sync})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if *bootstrap > 0 {
+		if err := bootstrapDemo(db, *bootstrap, *seed); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bootstrapped dataset %q with %d workers", "demo", *bootstrap)
+	}
+
+	srv, err := server.New(db,
+		server.WithRequestLog(log.Printf),
+		server.WithAuditLimit(*auditLimit))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (store: %s)", *addr, *dbPath)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"fairrank/internal/server"
+	"fairrank/internal/store"
+)
+
+func TestBootstrapDemo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "boot.db")
+	db, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := bootstrapDemo(db, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The server must reload the snapshot and expose it.
+	srv, err := server.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/datasets/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("demo dataset = %d", resp.StatusCode)
+	}
+}
+
+func TestBootstrapDemoValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "boot.db")
+	db, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := bootstrapDemo(db, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

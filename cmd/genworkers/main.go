@@ -1,0 +1,61 @@
+// Command genworkers generates a synthetic worker population over the
+// paper's attribute space and writes it as CSV or JSON.
+//
+// Usage:
+//
+//	genworkers -n 7300 -seed 42 -format csv -o workers.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"fairrank/internal/simulate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genworkers: ")
+	var (
+		n      = flag.Int("n", simulate.SmallPopulation, "number of workers to generate")
+		seed   = flag.Uint64("seed", 42, "generation seed")
+		format = flag.String("format", "csv", "output format: csv or json")
+		out    = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := run(w, *n, *seed, *format); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int, seed uint64, format string) error {
+	ds, err := simulate.PaperWorkers(n, seed)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		return ds.WriteCSV(w)
+	case "json":
+		return ds.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", format)
+	}
+}

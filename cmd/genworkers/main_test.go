@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 25, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 26 { // header + 25 workers
+		t.Fatalf("%d rows, want 26", len(recs))
+	}
+	if recs[0][0] != "id" || recs[0][1] != "Gender" {
+		t.Fatalf("header = %v", recs[0])
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 10, 2, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var workers []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &workers); err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 10 {
+		t.Fatalf("%d workers", len(workers))
+	}
+	if _, ok := workers[0]["protected"]; !ok {
+		t.Error("missing protected block")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 10, 1, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(&b, 0, 1, "csv"); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(&a, 20, 9, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 20, 9, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}

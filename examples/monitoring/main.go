@@ -1,0 +1,91 @@
+// Monitoring: continuous fairness auditing of a live platform. Workers
+// join, leave and are re-scored every day; the monitor maintains per-group
+// score histograms incrementally and flags the day the platform's scoring
+// drifts past the unfairness threshold. Here the drift is caused by a
+// "reputation boost" feature that, from day 30 on, inflates the scores of
+// newly joining male workers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fairrank"
+)
+
+func main() {
+	log.SetFlags(0)
+	schema := fairrank.PaperSchema()
+	mon, err := fairrank.NewMonitor(schema, []string{"Gender"}, 10, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon.SetMinWorkers(100) // warm-up: no alerts while the sample is tiny
+	r := fairrank.NewRNG(7)
+	genders := []string{"Male", "Female"}
+	countries := []string{"America", "India", "Other"}
+	languages := []string{"English", "Indian", "Other"}
+	ethnicities := []string{"White", "African-American", "Indian", "Other"}
+
+	randomWorker := func() map[string]any {
+		return map[string]any{
+			"Gender":          genders[r.Intn(2)],
+			"Country":         countries[r.Intn(3)],
+			"YearOfBirth":     1950 + r.Intn(60),
+			"Language":        languages[r.Intn(3)],
+			"Ethnicity":       ethnicities[r.Intn(4)],
+			"YearsExperience": r.Intn(31),
+		}
+	}
+
+	nextID := 0
+	var active []string
+	joined := map[string]bool{}
+	firedOn := -1
+
+	fmt.Println("day  workers  unfairness  alert")
+	for day := 1; day <= 60; day++ {
+		// ~20 joins per day; from day 30, male joiners get boosted scores.
+		for j := 0; j < 20; j++ {
+			attrs := randomWorker()
+			score := r.Float64()
+			if day >= 30 && attrs["Gender"] == "Male" {
+				score = 0.7 + 0.3*r.Float64()
+			}
+			id := fmt.Sprintf("w%06d", nextID)
+			nextID++
+			if err := mon.Join(id, attrs, score); err != nil {
+				log.Fatal(err)
+			}
+			active = append(active, id)
+			joined[id] = true
+		}
+		// ~10 departures per day.
+		for j := 0; j < 10 && len(active) > 0; j++ {
+			k := r.Intn(len(active))
+			id := active[k]
+			active = append(active[:k], active[k+1:]...)
+			if err := mon.Leave(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+		u, breached := mon.Alert()
+		marker := ""
+		if breached {
+			marker = "  *** DRIFT ***"
+			if firedOn < 0 {
+				firedOn = day
+			}
+		}
+		if day%5 == 0 || breached && firedOn == day {
+			fmt.Printf("%3d  %7d  %10.3f%s\n", day, mon.Workers(), u, marker)
+		}
+	}
+	fmt.Println(strings.Repeat("-", 40))
+	if firedOn > 0 {
+		fmt.Printf("the boost shipped on day 30; the monitor fired on day %d\n", firedOn)
+	} else {
+		fmt.Println("no drift detected (unexpected)")
+	}
+}

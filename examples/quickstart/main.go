@@ -1,0 +1,55 @@
+// Quickstart: generate a worker population, define a scoring function, and
+// find the most unfair partitioning with each of the paper's algorithms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairrank"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A population of 500 workers over the paper's attribute space
+	// (Gender, Country, YearOfBirth, Language, Ethnicity,
+	// YearsExperience; skills LanguageTest and ApprovalRate).
+	ds, err := fairrank.GenerateWorkers(500, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's f2: f(w) = 0.3·LanguageTest + 0.7·ApprovalRate.
+	f, err := fairrank.NewLinearFunc("f2", map[string]float64{
+		"LanguageTest": 0.3,
+		"ApprovalRate": 0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	auditor := fairrank.NewAuditor()
+	fmt.Printf("auditing %d workers under %s\n\n", ds.N(), f.Name())
+	results, err := auditor.AuditAll(ds, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("%-15s unfairness %.3f over %4d partitions in %s\n",
+			res.Algorithm, res.Unfairness, res.Partitioning.Size(), res.Elapsed)
+	}
+
+	// Compare against a pre-defined grouping (prior work's setting):
+	// splitting on Gender alone.
+	byGender, err := fairrank.GroupBy(ds, "Gender")
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := auditor.Unfairness(ds, f, byGender)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npre-defined Gender grouping alone: unfairness %.3f\n", u)
+	fmt.Println("→ searching over attribute combinations finds more disparity than any single pre-defined split.")
+}

@@ -1,0 +1,212 @@
+package fairrank
+
+import (
+	"io"
+
+	"fairrank/internal/campaign"
+	"fairrank/internal/core"
+	"fairrank/internal/dataset"
+	"fairrank/internal/emd"
+	"fairrank/internal/partition"
+	"fairrank/internal/query"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+// Re-exported data-model types. The implementation lives in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Dataset is an immutable columnar worker population.
+	Dataset = dataset.Dataset
+	// Builder incrementally assembles a Dataset.
+	Builder = dataset.Builder
+	// Schema declares a population's protected and observed attributes.
+	Schema = dataset.Schema
+	// Attribute describes one worker attribute.
+	Attribute = dataset.Attribute
+	// Kind distinguishes categorical from numeric attributes.
+	Kind = dataset.Kind
+
+	// ScoringFunc scores workers for a task; all scores are in [0,1].
+	ScoringFunc = scoring.Func
+	// LinearFunc is a weighted sum of observed attributes (Definition 1).
+	LinearFunc = scoring.Linear
+	// RuleFunc scores workers by protected-attribute rules; used to model
+	// scoring functions that are unfair by design.
+	RuleFunc = scoring.RuleFunc
+	// Rule assigns a score range to workers matching a predicate.
+	Rule = scoring.Rule
+	// Predicate selects workers by their protected attributes.
+	Predicate = scoring.Predicate
+
+	// Partition is a worker group defined by protected-attribute values.
+	Partition = partition.Partition
+	// Partitioning is a full disjoint partitioning of the population.
+	Partitioning = partition.Partitioning
+
+	// Config tunes unfairness measurement (bins, metric, parallelism).
+	Config = core.Config
+	// Result is the outcome of one audit: the most unfair partitioning
+	// found, its unfairness, runtime and decision trace.
+	Result = core.Result
+	// TraceStep records one splitting decision of an audit.
+	TraceStep = core.TraceStep
+	// Evaluator computes (and caches) unfairness for one dataset/function
+	// pair; most callers use Auditor instead.
+	Evaluator = core.Evaluator
+
+	// Metric identifies a histogram distance (EMD by default).
+	Metric = emd.Metric
+	// Ground selects the EMD ground distance.
+	Ground = emd.Ground
+)
+
+// Attribute kinds.
+const (
+	// Categorical attributes take one of an enumerated set of values.
+	Categorical = dataset.Categorical
+	// Numeric attributes take values in a range, bucketized for
+	// partitioning.
+	Numeric = dataset.Numeric
+)
+
+// Histogram distance metrics. MetricEMD is the paper's choice; the rest are
+// the alternative formulations the paper names as future work.
+const (
+	MetricEMD       = emd.MetricEMD
+	MetricL1        = emd.MetricL1
+	MetricTV        = emd.MetricTV
+	MetricChiSquare = emd.MetricChiSquare
+	MetricJS        = emd.MetricJS
+	MetricKS        = emd.MetricKS
+	MetricHellinger = emd.MetricHellinger
+)
+
+// EMD ground distances.
+const (
+	// GroundScore measures bin distance in score units (default).
+	GroundScore = emd.GroundScore
+	// GroundIndex normalizes bin distance so the maximum EMD is 1.
+	GroundIndex = emd.GroundIndex
+)
+
+// Cat declares a categorical attribute.
+func Cat(name string, values ...string) Attribute { return dataset.Cat(name, values...) }
+
+// Num declares a numeric attribute bucketized into buckets ranges when
+// used for partitioning.
+func Num(name string, min, max float64, buckets int) Attribute {
+	return dataset.Num(name, min, max, buckets)
+}
+
+// NewBuilder starts building a dataset for the given schema.
+func NewBuilder(schema *Schema) *Builder { return dataset.NewBuilder(schema) }
+
+// ReadCSV loads a dataset in fairrank's CSV layout against a schema.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) { return dataset.ReadCSV(r, schema) }
+
+// ReadJSON loads a dataset in fairrank's JSON layout against a schema.
+func ReadJSON(r io.Reader, schema *Schema) (*Dataset, error) { return dataset.ReadJSON(r, schema) }
+
+// InferOptions controls schema inference from arbitrary CSV exports.
+type InferOptions = dataset.InferOptions
+
+// InferCSV loads a CSV with a header row and infers a schema from the
+// named columns (numeric vs categorical decided by the data), so real
+// platform exports can be audited without hand-writing a schema.
+func InferCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
+	return dataset.InferCSV(r, opts)
+}
+
+// NewLinearFunc builds a linear scoring function from observed-attribute
+// weights; weights are normalized to sum to 1.
+func NewLinearFunc(name string, weights map[string]float64) (*LinearFunc, error) {
+	return scoring.NewLinear(name, weights)
+}
+
+// NewRuleFunc builds a rule-based scoring function. Rules apply in order;
+// the first match decides the worker's score range.
+func NewRuleFunc(name string, seed uint64, rules []Rule) (*RuleFunc, error) {
+	return scoring.NewRuleFunc(name, seed, rules)
+}
+
+// FuncOf adapts an arbitrary function into a ScoringFunc.
+func FuncOf(name string, fn func(ds *Dataset, i int) float64) ScoringFunc {
+	return scoring.ScoreFunc{FuncName: name, Fn: fn}
+}
+
+// Predicate constructors for rule-based functions.
+var (
+	// AttrIs matches workers whose categorical attribute has one of the
+	// given values.
+	AttrIs = scoring.AttrIs
+	// AttrInRange matches workers whose numeric attribute is in [lo, hi).
+	AttrInRange = scoring.AttrInRange
+	// And matches when all predicates match.
+	And = scoring.And
+	// Or matches when any predicate matches.
+	Or = scoring.Or
+	// Not inverts a predicate.
+	Not = scoring.Not
+	// Any matches every worker.
+	Any = scoring.Any
+)
+
+// PaperSchema returns the EDBT-2019 paper's simulated attribute space: six
+// protected attributes and two observed skills.
+func PaperSchema() *Schema { return simulate.PaperSchema() }
+
+// GenerateWorkers generates a synthetic worker population with uniformly
+// random attribute values over PaperSchema, reproducibly from a seed.
+func GenerateWorkers(n int, seed uint64) (*Dataset, error) {
+	return simulate.PaperWorkers(n, seed)
+}
+
+// PopulationOptions shapes a synthetic population with demographic skew and
+// skill-demographic correlations — a stand-in for real platform data, where
+// latent correlations make even skill-only scoring functions unfair.
+type PopulationOptions = simulate.Options
+
+// GenerateSkewedWorkers generates a population over PaperSchema with the
+// given skew/correlation options, reproducibly from a seed.
+func GenerateSkewedWorkers(n int, seed uint64, opts PopulationOptions) (*Dataset, error) {
+	return simulate.SkewedWorkers(n, seed, opts)
+}
+
+// NewEvaluator builds a low-level unfairness evaluator. Most callers should
+// use Auditor.
+func NewEvaluator(ds *Dataset, f ScoringFunc, cfg Config) (*Evaluator, error) {
+	return core.NewEvaluator(ds, f, cfg)
+}
+
+// CampaignOptions configures an audit campaign over many scoring
+// functions.
+type CampaignOptions = campaign.Options
+
+// FunctionAudit is one scoring function's campaign outcome, including its
+// permutation-test p-value and the Benjamini-Hochberg-corrected
+// significance flag.
+type FunctionAudit = campaign.FunctionAudit
+
+// RunCampaign audits every function against the population, applying
+// campaign-wide false-discovery-rate control to the significance flags.
+// Results are in input order.
+func RunCampaign(ds *Dataset, funcs []ScoringFunc, opts CampaignOptions) ([]FunctionAudit, error) {
+	return campaign.Run(ds, funcs, opts)
+}
+
+// Query is a compiled requester query: a boolean expression over worker
+// attributes such as "Gender = 'Female' AND YearsExperience >= 5", used to
+// select the eligible candidates before ranking or auditing.
+type Query = query.Compiled
+
+// CompileQuery parses and binds a query expression against a schema.
+// Supported syntax: =, !=, <, <=, >, >= comparisons, IN lists, AND/OR/NOT
+// and parentheses; strings in single quotes.
+func CompileQuery(text string, schema *Schema) (*Query, error) {
+	e, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return query.Compile(e, schema)
+}

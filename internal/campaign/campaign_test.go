@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"testing"
+
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+// mixedFunctions builds a campaign of one designed-bias function among
+// several unbiased random ones.
+func mixedFunctions(t *testing.T, seed uint64) []scoring.Func {
+	t.Helper()
+	random, err := simulate.RandomFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := scoring.NewRuleFunc("f6", seed, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.8, Hi: 1.0},
+		{When: scoring.AttrIs("Gender", "Female"), Lo: 0.0, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(random[:3:3], f6)
+}
+
+func TestCampaignFlagsBiasedFunction(t *testing.T) {
+	ds, err := simulate.PaperWorkers(400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := mixedFunctions(t, 3)
+	audits, err := Run(ds, funcs, Options{Rounds: 100, Parallelism: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audits) != 4 {
+		t.Fatalf("%d audits", len(audits))
+	}
+	byName := map[string]FunctionAudit{}
+	for i, a := range audits {
+		if a.Function != funcs[i].Name() {
+			t.Fatalf("audit %d out of order: %s", i, a.Function)
+		}
+		byName[a.Function] = a
+	}
+	f6 := byName["f6"]
+	if !f6.Significant {
+		t.Fatalf("f6 not flagged: p=%v", f6.PValue)
+	}
+	if f6.Unfairness < 0.7 {
+		t.Fatalf("f6 unfairness = %v", f6.Unfairness)
+	}
+	if len(f6.AttributesUsed) != 1 || f6.AttributesUsed[0] != "Gender" {
+		t.Fatalf("f6 attributes = %v", f6.AttributesUsed)
+	}
+	// The random functions must not all be flagged (FDR control).
+	flagged := 0
+	for _, name := range []string{"f1", "f2", "f3"} {
+		if byName[name].Significant {
+			flagged++
+		}
+	}
+	if flagged == 3 {
+		t.Fatal("every random function flagged — correction not working")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	ds, err := simulate.PaperWorkers(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := mixedFunctions(t, 5)
+	a, err := Run(ds, funcs, Options{Rounds: 50, Parallelism: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, funcs, Options{Rounds: 50, Parallelism: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].PValue != b[i].PValue || a[i].Unfairness != b[i].Unfairness {
+			t.Fatalf("audit %d differs between parallel and serial", i)
+		}
+	}
+}
+
+func TestCampaignAlgorithms(t *testing.T) {
+	ds, err := simulate.PaperWorkers(150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := mixedFunctions(t, 7)[:1]
+	for _, algo := range []string{"balanced", "unbalanced", "all-attributes", "r-balanced", "r-unbalanced"} {
+		if _, err := Run(ds, funcs, Options{Rounds: 20, Algorithm: algo, Seed: 7}); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	if _, err := Run(ds, funcs, Options{Algorithm: "quantum"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	ds, _ := simulate.PaperWorkers(50, 9)
+	funcs := mixedFunctions(t, 9)
+	if _, err := Run(nil, funcs, Options{}); err == nil {
+		t.Error("nil population accepted")
+	}
+	if _, err := Run(ds, nil, Options{}); err == nil {
+		t.Error("no functions accepted")
+	}
+}

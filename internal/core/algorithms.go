@@ -1,0 +1,281 @@
+package core
+
+import (
+	"time"
+
+	"fairrank/internal/partition"
+	"fairrank/internal/rng"
+)
+
+// Result is the outcome of running one algorithm.
+type Result struct {
+	// Algorithm is the canonical algorithm name (e.g. "balanced").
+	Algorithm string
+	// Partitioning is the most unfair partitioning found.
+	Partitioning *partition.Partitioning
+	// Unfairness is the average pairwise distance of Partitioning.
+	Unfairness float64
+	// Elapsed is the wall-clock time the algorithm took.
+	Elapsed time.Duration
+	// Steps traces the splitting decisions for explainability.
+	Steps []TraceStep
+}
+
+// TraceStep records one splitting decision.
+type TraceStep struct {
+	// Attribute is the protected attribute index split on (-1 for the
+	// final stop decision).
+	Attribute int
+	// AvgDistance is the average pairwise distance after the split.
+	AvgDistance float64
+	// Partitions is the partition count after the split.
+	Partitions int
+	// Accepted reports whether the split improved unfairness and was kept.
+	Accepted bool
+}
+
+// chooser selects the attribute to split a set of partitions on, returning
+// the attribute, the children after splitting all partitions on it, and the
+// children's average pairwise distance.
+type chooser func(e *Evaluator, parts []*partition.Partition, attrs []int) (attr int, children []*partition.Partition, avg float64)
+
+// worstAttribute is the paper's greedy choice: try every remaining
+// attribute and keep the one whose split yields the highest average
+// pairwise distance. Ties break toward the lowest attribute index, making
+// runs deterministic.
+func worstAttribute(e *Evaluator, parts []*partition.Partition, attrs []int) (int, []*partition.Partition, float64) {
+	bestAttr := -1
+	var bestChildren []*partition.Partition
+	bestAvg := -1.0
+	for _, a := range attrs {
+		children := e.splitAll(parts, a)
+		avg := e.AvgPairwise(children)
+		if avg > bestAvg {
+			bestAttr, bestChildren, bestAvg = a, children, avg
+		}
+	}
+	return bestAttr, bestChildren, bestAvg
+}
+
+// randomAttribute is the baseline choice used by r-balanced and
+// r-unbalanced: a uniformly random remaining attribute.
+func randomAttribute(r *rng.RNG) chooser {
+	return func(e *Evaluator, parts []*partition.Partition, attrs []int) (int, []*partition.Partition, float64) {
+		a := attrs[r.Intn(len(attrs))]
+		children := e.splitAll(parts, a)
+		return a, children, e.AvgPairwise(children)
+	}
+}
+
+// remove returns attrs without a (non-destructively).
+func remove(attrs []int, a int) []int {
+	out := make([]int, 0, len(attrs)-1)
+	for _, x := range attrs {
+		if x != a {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Balanced runs Algorithm 1: repeatedly split every current partition on
+// the worst remaining attribute, stopping when the average pairwise
+// distance no longer improves. attrs nil means all protected attributes.
+func Balanced(e *Evaluator, attrs []int) *Result {
+	return balancedWith(e, attrs, worstAttribute, "balanced")
+}
+
+// RBalanced is Balanced with random attribute choice (baseline).
+func RBalanced(e *Evaluator, attrs []int, r *rng.RNG) *Result {
+	return balancedWith(e, attrs, randomAttribute(r), "r-balanced")
+}
+
+func balancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Result {
+	start := time.Now()
+	if attrs == nil {
+		attrs = e.Attrs()
+	}
+	res := &Result{Algorithm: name}
+	current := []*partition.Partition{partition.Root(e.ds)}
+	if len(attrs) == 0 {
+		res.Partitioning = &partition.Partitioning{Parts: current}
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	// First split is unconditional (lines 1–4 of Algorithm 1).
+	a, children, avg := choose(e, current, attrs)
+	attrs = remove(attrs, a)
+	current, currentAvg := children, avg
+	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: avg, Partitions: len(children), Accepted: true})
+
+	for len(attrs) > 0 {
+		a, children, avg := choose(e, current, attrs)
+		attrs = remove(attrs, a)
+		step := TraceStep{Attribute: a, AvgDistance: avg, Partitions: len(children)}
+		if currentAvg >= avg {
+			res.Steps = append(res.Steps, step)
+			break
+		}
+		step.Accepted = true
+		res.Steps = append(res.Steps, step)
+		current, currentAvg = children, avg
+	}
+	res.Partitioning = &partition.Partitioning{Parts: current}
+	res.Unfairness = currentAvg
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Unbalanced runs Algorithm 2: after an initial split on the worst
+// attribute, each partition locally decides whether replacing itself by its
+// children (split on its locally worst attribute) increases the average
+// pairwise distance against its siblings. attrs nil means all protected
+// attributes.
+func Unbalanced(e *Evaluator, attrs []int) *Result {
+	return unbalancedWith(e, attrs, worstAttribute, "unbalanced")
+}
+
+// RUnbalanced is Unbalanced with random attribute choice (baseline).
+func RUnbalanced(e *Evaluator, attrs []int, r *rng.RNG) *Result {
+	return unbalancedWith(e, attrs, randomAttribute(r), "r-unbalanced")
+}
+
+func unbalancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Result {
+	start := time.Now()
+	if attrs == nil {
+		attrs = e.Attrs()
+	}
+	res := &Result{Algorithm: name}
+	root := partition.Root(e.ds)
+	if len(attrs) == 0 {
+		res.Partitioning = &partition.Partitioning{Parts: []*partition.Partition{root}}
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	a, parts, avg := choose(e, []*partition.Partition{root}, attrs)
+	rest := remove(attrs, a)
+	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: avg, Partitions: len(parts), Accepted: true})
+
+	var output []*partition.Partition
+	var recurse func(current *partition.Partition, siblings []*partition.Partition, attrs []int)
+	recurse = func(current *partition.Partition, siblings []*partition.Partition, attrs []int) {
+		if len(attrs) == 0 {
+			output = append(output, current)
+			return
+		}
+		group := append([]*partition.Partition{current}, siblings...)
+		currentAvg := e.AvgPairwise(group)
+		a, children, _ := choose(e, []*partition.Partition{current}, attrs)
+		rest := remove(attrs, a)
+		childrenAvg := e.AvgPairwise(append(append([]*partition.Partition{}, children...), siblings...))
+		step := TraceStep{Attribute: a, AvgDistance: childrenAvg, Partitions: len(children)}
+		if currentAvg >= childrenAvg {
+			res.Steps = append(res.Steps, step)
+			output = append(output, current)
+			return
+		}
+		step.Accepted = true
+		res.Steps = append(res.Steps, step)
+		for k, p := range children {
+			others := make([]*partition.Partition, 0, len(children)-1)
+			others = append(others, children[:k]...)
+			others = append(others, children[k+1:]...)
+			recurse(p, others, rest)
+		}
+	}
+	for k, p := range parts {
+		others := make([]*partition.Partition, 0, len(parts)-1)
+		others = append(others, parts[:k]...)
+		others = append(others, parts[k+1:]...)
+		recurse(p, others, rest)
+	}
+
+	res.Partitioning = &partition.Partitioning{Parts: output}
+	res.Unfairness = e.AvgPairwise(output)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// AllAttributes is the full-partitioning baseline: split on every protected
+// attribute unconditionally.
+func AllAttributes(e *Evaluator, attrs []int) *Result {
+	start := time.Now()
+	if attrs == nil {
+		attrs = e.Attrs()
+	}
+	parts := []*partition.Partition{partition.Root(e.ds)}
+	res := &Result{Algorithm: "all-attributes"}
+	for _, a := range attrs {
+		parts = e.splitAll(parts, a)
+		res.Steps = append(res.Steps, TraceStep{Attribute: a, Partitions: len(parts), Accepted: true})
+	}
+	res.Partitioning = &partition.Partitioning{Parts: parts}
+	res.Unfairness = e.AvgPairwise(parts)
+	if len(res.Steps) > 0 {
+		res.Steps[len(res.Steps)-1].AvgDistance = res.Unfairness
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// ExhaustiveCells solves the optimization problem exactly over the full
+// set-partition space: every grouping of the non-empty cells of the
+// attribute cross-product, a strict superset of the hierarchical tree space
+// Exhaustive searches (and of everything the heuristics can return). The
+// space size is the Bell number of the cell count, so this is only usable
+// on tiny instances; it exists to quantify how much optimum the tree-shaped
+// formulations leave on the table.
+func ExhaustiveCells(e *Evaluator, attrs []int, budget int) (*Result, error) {
+	start := time.Now()
+	if attrs == nil {
+		attrs = e.Attrs()
+	}
+	res := &Result{Algorithm: "exhaustive-cells", Unfairness: -1}
+	err := partition.EnumerateCellGroupings(e.ds, attrs, budget, func(pt *partition.Partitioning) bool {
+		u := e.Unfairness(pt)
+		if u > res.Unfairness {
+			res.Unfairness = u
+			res.Partitioning = pt
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Unfairness < 0 {
+		res.Unfairness = 0
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Exhaustive solves the optimization problem exactly by enumerating every
+// hierarchical split partitioning, subject to a budget on the number of
+// partitionings. It returns partition.ErrBudgetExceeded beyond the budget —
+// the expected outcome at realistic attribute counts, mirroring the paper's
+// brute-force solver that "failed to terminate after running for two days".
+func Exhaustive(e *Evaluator, attrs []int, budget int) (*Result, error) {
+	start := time.Now()
+	if attrs == nil {
+		attrs = e.Attrs()
+	}
+	res := &Result{Algorithm: "exhaustive", Unfairness: -1}
+	err := partition.EnumerateTrees(e.ds, attrs, budget, func(pt *partition.Partitioning) bool {
+		u := e.Unfairness(pt)
+		if u > res.Unfairness {
+			res.Unfairness = u
+			res.Partitioning = pt
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Unfairness < 0 {
+		res.Unfairness = 0
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,364 @@
+// Package core implements the paper's contribution: the Most Unfair
+// Partitioning problem (Definitions 1 and 2) and the algorithms that
+// navigate the exponential space of partitionings — balanced and unbalanced
+// (Algorithms 1 and 2), their random-attribute baselines r-balanced and
+// r-unbalanced, the all-attributes full split, and an exhaustive solver
+// with an explicit enumeration budget.
+//
+// Unfairness of a partitioning P under scoring function f is the average
+// pairwise Earth Mover's Distance between the per-partition score
+// histograms: unfairness(P, f) = avg_{i<j} EMD(h(p_i,f), h(p_j,f)).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/emd"
+	"fairrank/internal/histogram"
+	"fairrank/internal/partition"
+	"fairrank/internal/scoring"
+)
+
+// Config tunes how unfairness is measured.
+type Config struct {
+	// Bins is the number of equal-width histogram bins over [0,1].
+	// Defaults to 10.
+	Bins int
+	// Ground selects the EMD ground distance (score units by default).
+	Ground emd.Ground
+	// Metric selects the histogram distance; MetricEMD (the paper's
+	// choice) by default. Non-EMD metrics ignore Ground.
+	Metric emd.Metric
+	// Parallelism bounds the goroutines used for large pairwise-distance
+	// computations. Defaults to GOMAXPROCS. 1 forces serial evaluation.
+	Parallelism int
+	// MinPartitionSize blocks splits that would create a partition with
+	// fewer workers than this, both to protect against sampling noise in
+	// tiny groups and as a k-anonymity guard when audit results are
+	// published. The default (1) reproduces the paper's behavior.
+	MinPartitionSize int
+	// Exact computes the bin-free EMD between the partitions' empirical
+	// score distributions (L1 distance of empirical CDFs) instead of the
+	// binned histogram EMD. More faithful, somewhat slower; ignores Bins,
+	// Ground and Metric.
+	Exact bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bins <= 0 {
+		c.Bins = 10
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MinPartitionSize < 1 {
+		c.MinPartitionSize = 1
+	}
+	return c
+}
+
+// Evaluator computes and caches unfairness measurements for one (dataset,
+// scoring function) pair. It is safe for concurrent use.
+type Evaluator struct {
+	ds     *dataset.Dataset
+	f      scoring.Func
+	cfg    Config
+	scores []float64
+	unit   float64 // EMD ground distance between adjacent bins
+
+	mu     sync.Mutex
+	pmfs   map[string][]float64 // partition key → PMF (binned mode)
+	sorted map[string][]float64 // partition key → sorted scores (exact mode)
+	ids    map[string]uint32    // partition key → dense handle
+	pairs  map[uint64]float64   // packed handle pair → distance
+	calls  int                  // distance computations (cache misses)
+}
+
+// NewEvaluator precomputes all worker scores for f and returns an
+// Evaluator. The scoring function must return values in [0,1]; out-of-range
+// values are clamped into the edge bins by the histogram.
+func NewEvaluator(ds *dataset.Dataset, f scoring.Func, cfg Config) (*Evaluator, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: nil scoring function")
+	}
+	cfg = cfg.withDefaults()
+	e := &Evaluator{
+		ds:     ds,
+		f:      f,
+		cfg:    cfg,
+		scores: scoring.Scores(ds, f),
+		pmfs:   map[string][]float64{},
+		sorted: map[string][]float64{},
+		ids:    map[string]uint32{},
+		pairs:  map[uint64]float64{},
+	}
+	switch cfg.Ground {
+	case emd.GroundIndex:
+		if cfg.Bins > 1 {
+			e.unit = 1 / float64(cfg.Bins-1)
+		}
+	default:
+		e.unit = 1 / float64(cfg.Bins)
+	}
+	return e, nil
+}
+
+// Dataset returns the dataset under audit.
+func (e *Evaluator) Dataset() *dataset.Dataset { return e.ds }
+
+// Func returns the scoring function under audit.
+func (e *Evaluator) Func() scoring.Func { return e.f }
+
+// Config returns the effective (defaulted) configuration.
+func (e *Evaluator) Config() Config { return e.cfg }
+
+// Scores returns the precomputed score column. Callers must not mutate it.
+func (e *Evaluator) Scores() []float64 { return e.scores }
+
+// Attrs returns all protected attribute indices, the default attribute set
+// for every algorithm.
+func (e *Evaluator) Attrs() []int {
+	out := make([]int, len(e.ds.Schema().Protected))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Histogram builds (uncached) the score histogram of a partition; exported
+// for reporting and figures.
+func (e *Evaluator) Histogram(p *partition.Partition) *histogram.Histogram {
+	h := histogram.MustNew(e.cfg.Bins, 0, 1)
+	for _, i := range p.Indices {
+		h.Add(e.scores[i])
+	}
+	return h
+}
+
+// pmfFor returns the cached normalized histogram of a partition together
+// with its dense handle.
+func (e *Evaluator) pmfFor(p *partition.Partition) ([]float64, uint32) {
+	key := p.Key()
+	e.mu.Lock()
+	if pmf, ok := e.pmfs[key]; ok {
+		id := e.ids[key]
+		e.mu.Unlock()
+		return pmf, id
+	}
+	e.mu.Unlock()
+
+	pmf := e.Histogram(p).PMF()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.pmfs[key]; ok {
+		return existing, e.ids[key]
+	}
+	id := uint32(len(e.ids))
+	e.pmfs[key] = pmf
+	e.ids[key] = id
+	return pmf, id
+}
+
+// sortedFor returns the cached sorted score sample of a partition together
+// with its dense handle (exact mode).
+func (e *Evaluator) sortedFor(p *partition.Partition) ([]float64, uint32) {
+	key := p.Key()
+	e.mu.Lock()
+	if s, ok := e.sorted[key]; ok {
+		id := e.ids[key]
+		e.mu.Unlock()
+		return s, id
+	}
+	e.mu.Unlock()
+
+	s := make([]float64, len(p.Indices))
+	for k, i := range p.Indices {
+		s[k] = e.scores[i]
+	}
+	sort.Float64s(s)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.sorted[key]; ok {
+		return existing, e.ids[key]
+	}
+	id, ok := e.ids[key]
+	if !ok {
+		id = uint32(len(e.ids))
+		e.ids[key] = id
+	}
+	e.sorted[key] = s
+	return s, id
+}
+
+// dist computes the configured distance between two PMFs.
+func (e *Evaluator) dist(p, q []float64) float64 {
+	switch e.cfg.Metric {
+	case emd.MetricL1:
+		return emd.L1(p, q)
+	case emd.MetricTV:
+		return emd.L1(p, q) / 2
+	case emd.MetricChiSquare:
+		return emd.ChiSquare(p, q)
+	case emd.MetricJS:
+		return emd.JensenShannon(p, q)
+	case emd.MetricKS:
+		return emd.KolmogorovSmirnov(p, q)
+	case emd.MetricHellinger:
+		return emd.Hellinger(p, q)
+	default:
+		return emd.PMFDistance(p, q, e.unit)
+	}
+}
+
+func packPair(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// PairDistance returns the configured distance between two partitions'
+// score distributions, with symmetric caching.
+func (e *Evaluator) PairDistance(a, b *partition.Partition) float64 {
+	var pa, pb []float64
+	var ia, ib uint32
+	if e.cfg.Exact {
+		pa, ia = e.sortedFor(a)
+		pb, ib = e.sortedFor(b)
+	} else {
+		pa, ia = e.pmfFor(a)
+		pb, ib = e.pmfFor(b)
+	}
+	key := packPair(ia, ib)
+	e.mu.Lock()
+	if d, ok := e.pairs[key]; ok {
+		e.mu.Unlock()
+		return d
+	}
+	e.mu.Unlock()
+	var d float64
+	if e.cfg.Exact {
+		d = emd.Exact1DSorted(pa, pb)
+	} else {
+		d = e.dist(pa, pb)
+	}
+	e.mu.Lock()
+	e.pairs[key] = d
+	e.calls++
+	e.mu.Unlock()
+	return d
+}
+
+// parallelThreshold is the partition count above which AvgPairwise fans the
+// O(k²) pair loop out across goroutines instead of using the pair cache.
+const parallelThreshold = 64
+
+// AvgPairwise computes unfairness(P, f) — the average pairwise distance
+// over all unordered pairs of parts. Fewer than two partitions yield 0.
+func (e *Evaluator) AvgPairwise(parts []*partition.Partition) float64 {
+	k := len(parts)
+	if k < 2 {
+		return 0
+	}
+	if k < parallelThreshold || e.cfg.Parallelism <= 1 {
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				sum += e.PairDistance(parts[i], parts[j])
+			}
+		}
+		return sum / float64(k*(k-1)/2)
+	}
+
+	// Large partitionings: resolve the per-partition representations
+	// once, then sum distances in parallel without touching the pair
+	// cache (the cache would be pure mutex contention at this scale).
+	reps := make([][]float64, k)
+	for i, p := range parts {
+		if e.cfg.Exact {
+			reps[i], _ = e.sortedFor(p)
+		} else {
+			reps[i], _ = e.pmfFor(p)
+		}
+	}
+	workers := e.cfg.Parallelism
+	if workers > k {
+		workers = k
+	}
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := 0.0
+			for i := w; i < k; i += workers {
+				ri := reps[i]
+				for j := i + 1; j < k; j++ {
+					if e.cfg.Exact {
+						local += emd.Exact1DSorted(ri, reps[j])
+					} else {
+						local += e.dist(ri, reps[j])
+					}
+				}
+			}
+			sums[w] = local
+		}(w)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, s := range sums {
+		sum += s
+	}
+	return sum / float64(k*(k-1)/2)
+}
+
+// Unfairness evaluates a whole Partitioning (Definition 2).
+func (e *Evaluator) Unfairness(pt *partition.Partitioning) float64 {
+	if pt == nil {
+		return 0
+	}
+	return e.AvgPairwise(pt.Parts)
+}
+
+// splitAll splits every partition on attr, subject to MinPartitionSize:
+// a partition whose split would create a child smaller than the minimum is
+// kept whole instead.
+func (e *Evaluator) splitAll(parts []*partition.Partition, attr int) []*partition.Partition {
+	if e.cfg.MinPartitionSize <= 1 {
+		return partition.SplitAll(e.ds, parts, attr)
+	}
+	var out []*partition.Partition
+	for _, p := range parts {
+		children := partition.Split(e.ds, p, attr)
+		ok := true
+		for _, c := range children {
+			if c.Size() < e.cfg.MinPartitionSize {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, children...)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CacheStats reports cache sizes, used by the ablation benchmarks.
+func (e *Evaluator) CacheStats() (histograms, pairs, misses int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pmfs), len(e.pairs), e.calls
+}

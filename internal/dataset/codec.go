@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV serializes the dataset as CSV: a header row of
+// id, <protected...>, <observed...>, then one row per worker. Categorical
+// values are written as their labels; numeric protected attributes as their
+// raw values.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id"}
+	for _, a := range d.schema.Protected {
+		header = append(header, a.Name)
+	}
+	for _, a := range d.schema.Observed {
+		header = append(header, a.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < d.n; i++ {
+		row[0] = d.ids[i]
+		col := 1
+		for a, attr := range d.schema.Protected {
+			if attr.Kind == Categorical {
+				row[col] = attr.Values[d.Code(a, i)]
+			} else {
+				row[col] = strconv.FormatFloat(d.rawProtected[a][i], 'g', -1, 64)
+			}
+			col++
+		}
+		for a := range d.schema.Observed {
+			row[col] = strconv.FormatFloat(d.observed[a][i], 'g', -1, 64)
+			col++
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or hand-authored in the
+// same layout) against the given schema. Column order must match the
+// schema: id, protected attributes, observed attributes.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	want := 1 + len(schema.Protected) + len(schema.Observed)
+	if len(header) != want {
+		return nil, fmt.Errorf("dataset: csv has %d columns, schema wants %d", len(header), want)
+	}
+	if header[0] != "id" {
+		return nil, fmt.Errorf("dataset: first csv column is %q, want \"id\"", header[0])
+	}
+	for i, a := range schema.Protected {
+		if header[1+i] != a.Name {
+			return nil, fmt.Errorf("dataset: csv column %d is %q, want protected %q", 1+i, header[1+i], a.Name)
+		}
+	}
+	off := 1 + len(schema.Protected)
+	for i, a := range schema.Observed {
+		if header[off+i] != a.Name {
+			return nil, fmt.Errorf("dataset: csv column %d is %q, want observed %q", off+i, header[off+i], a.Name)
+		}
+	}
+
+	b := NewBuilder(schema)
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line+1, err)
+		}
+		line++
+		prot := map[string]any{}
+		for i, a := range schema.Protected {
+			cell := row[1+i]
+			if a.Kind == Categorical {
+				prot[a.Name] = cell
+			} else {
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: csv line %d, attribute %q: %w", line, a.Name, err)
+				}
+				prot[a.Name] = f
+			}
+		}
+		obs := map[string]any{}
+		for i, a := range schema.Observed {
+			f, err := strconv.ParseFloat(row[off+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d, attribute %q: %w", line, a.Name, err)
+			}
+			obs[a.Name] = f
+		}
+		b.Add(row[0], prot, obs)
+	}
+	return b.Build()
+}
+
+// jsonWorker is the JSON wire form of one worker.
+type jsonWorker struct {
+	ID        string             `json:"id"`
+	Protected map[string]any     `json:"protected"`
+	Observed  map[string]float64 `json:"observed"`
+}
+
+// WriteJSON serializes the dataset as a JSON array of worker objects.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	workers := make([]jsonWorker, d.n)
+	for i := 0; i < d.n; i++ {
+		jw := jsonWorker{
+			ID:        d.ids[i],
+			Protected: map[string]any{},
+			Observed:  map[string]float64{},
+		}
+		for a, attr := range d.schema.Protected {
+			if attr.Kind == Categorical {
+				jw.Protected[attr.Name] = attr.Values[d.Code(a, i)]
+			} else {
+				jw.Protected[attr.Name] = d.rawProtected[a][i]
+			}
+		}
+		for a, attr := range d.schema.Observed {
+			jw.Observed[attr.Name] = d.observed[a][i]
+		}
+		workers[i] = jw
+	}
+	return enc.Encode(workers)
+}
+
+// ReadJSON parses a dataset written by WriteJSON against the given schema.
+func ReadJSON(r io.Reader, schema *Schema) (*Dataset, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	var workers []jsonWorker
+	if err := json.NewDecoder(r).Decode(&workers); err != nil {
+		return nil, fmt.Errorf("dataset: decode json: %w", err)
+	}
+	b := NewBuilder(schema)
+	for _, jw := range workers {
+		obs := map[string]any{}
+		for k, v := range jw.Observed {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("dataset: worker %q observed %q is NaN", jw.ID, k)
+			}
+			obs[k] = v
+		}
+		b.Add(jw.ID, jw.Protected, obs)
+	}
+	return b.Build()
+}

@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dataset is an immutable, columnar store of workers conforming to a
+// Schema. Protected attribute values are stored as small integer codes
+// (category index or numeric bucket index) so partitioning is a pure
+// integer scan; the raw numeric values of protected attributes are kept as
+// well for inspection and export.
+type Dataset struct {
+	schema *Schema
+	n      int
+	ids    []string
+	// codes[a][i] is worker i's partitioning code for protected attribute a.
+	codes [][]uint16
+	// rawProtected[a][i] is worker i's raw numeric value for protected
+	// attribute a (NaN for categorical attributes).
+	rawProtected [][]float64
+	// observed[a][i] is worker i's value for observed attribute a.
+	observed [][]float64
+}
+
+// Builder incrementally assembles a Dataset.
+type Builder struct {
+	ds  *Dataset
+	err error
+}
+
+// NewBuilder returns a Builder for the given schema. The schema is
+// validated eagerly; an invalid schema poisons the builder and surfaces
+// from Build.
+func NewBuilder(schema *Schema) *Builder {
+	b := &Builder{}
+	if err := schema.Validate(); err != nil {
+		b.err = err
+		return b
+	}
+	s := schema.Clone()
+	b.ds = &Dataset{
+		schema:       s,
+		codes:        make([][]uint16, len(s.Protected)),
+		rawProtected: make([][]float64, len(s.Protected)),
+		observed:     make([][]float64, len(s.Observed)),
+	}
+	return b
+}
+
+// Add appends one worker. protected maps protected attribute names to a
+// string (categorical) or float64/int (numeric); observed maps observed
+// attribute names to float64/int values. Every schema attribute must be
+// present. The first error sticks and is reported by Build.
+func (b *Builder) Add(id string, protected map[string]any, observed map[string]any) *Builder {
+	if b.err != nil {
+		return b
+	}
+	ds := b.ds
+	for a, attr := range ds.schema.Protected {
+		v, ok := protected[attr.Name]
+		if !ok {
+			b.err = fmt.Errorf("dataset: worker %q missing protected attribute %q", id, attr.Name)
+			return b
+		}
+		code, raw, err := encodeProtected(attr, v)
+		if err != nil {
+			b.err = fmt.Errorf("dataset: worker %q: %w", id, err)
+			return b
+		}
+		ds.codes[a] = append(ds.codes[a], code)
+		ds.rawProtected[a] = append(ds.rawProtected[a], raw)
+	}
+	for a, attr := range ds.schema.Observed {
+		v, ok := observed[attr.Name]
+		if !ok {
+			b.err = fmt.Errorf("dataset: worker %q missing observed attribute %q", id, attr.Name)
+			return b
+		}
+		f, err := toFloat(v)
+		if err != nil {
+			b.err = fmt.Errorf("dataset: worker %q attribute %q: %w", id, attr.Name, err)
+			return b
+		}
+		ds.observed[a] = append(ds.observed[a], f)
+	}
+	ds.ids = append(ds.ids, id)
+	ds.n++
+	return b
+}
+
+func encodeProtected(attr Attribute, v any) (code uint16, raw float64, err error) {
+	switch attr.Kind {
+	case Categorical:
+		s, ok := v.(string)
+		if !ok {
+			return 0, 0, fmt.Errorf("attribute %q wants a string, got %T", attr.Name, v)
+		}
+		i := attr.CategoryIndex(s)
+		if i < 0 {
+			return 0, 0, fmt.Errorf("attribute %q has no value %q", attr.Name, s)
+		}
+		return uint16(i), math.NaN(), nil
+	case Numeric:
+		f, err := toFloat(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("attribute %q: %w", attr.Name, err)
+		}
+		if f < attr.Min || f > attr.Max {
+			return 0, 0, fmt.Errorf("attribute %q value %g outside [%g,%g]", attr.Name, f, attr.Min, attr.Max)
+		}
+		return uint16(attr.BucketIndex(f)), f, nil
+	}
+	return 0, 0, fmt.Errorf("attribute %q has unknown kind", attr.Name)
+}
+
+func toFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, errors.New("value is NaN or infinite")
+		}
+		return x, nil
+	case float32:
+		return toFloat(float64(x))
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("want a number, got %T", v)
+	}
+}
+
+// Build finalizes the dataset or reports the first accumulated error.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.ds.n == 0 {
+		return nil, errors.New("dataset: no workers added")
+	}
+	return b.ds, nil
+}
+
+// N returns the number of workers.
+func (d *Dataset) N() int { return d.n }
+
+// Schema returns the dataset's schema. Callers must not mutate it.
+func (d *Dataset) Schema() *Schema { return d.schema }
+
+// ID returns worker i's identifier.
+func (d *Dataset) ID(i int) string { return d.ids[i] }
+
+// Code returns worker i's partitioning code for protected attribute a
+// (by index into Schema().Protected).
+func (d *Dataset) Code(a, i int) int { return int(d.codes[a][i]) }
+
+// RawProtected returns worker i's raw numeric value for protected
+// attribute a; NaN for categorical attributes.
+func (d *Dataset) RawProtected(a, i int) float64 { return d.rawProtected[a][i] }
+
+// Observed returns worker i's value for observed attribute a (by index
+// into Schema().Observed).
+func (d *Dataset) Observed(a, i int) float64 { return d.observed[a][i] }
+
+// ObservedColumn returns the full column of observed attribute a. The
+// returned slice is shared; callers must not mutate it.
+func (d *Dataset) ObservedColumn(a int) []float64 { return d.observed[a] }
+
+// ProtectedLabel returns the human-readable partitioning value of worker i
+// on protected attribute a.
+func (d *Dataset) ProtectedLabel(a, i int) string {
+	return d.schema.Protected[a].ValueLabel(d.Code(a, i))
+}
+
+// AllIndices returns 0..N-1, the root "partition" containing everyone.
+func (d *Dataset) AllIndices() []int {
+	idx := make([]int, d.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Concat returns a new Dataset holding the workers of a followed by the
+// workers of b. The two datasets must have structurally identical schemas
+// (same attributes, kinds, value lists and ranges); this is how cohorts
+// from different sources or time windows are federated for a joint audit.
+func Concat(a, b *Dataset) (*Dataset, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("dataset: concat of nil dataset")
+	}
+	if err := sameSchema(a.schema, b.schema); err != nil {
+		return nil, err
+	}
+	out := &Dataset{
+		schema:       a.schema.Clone(),
+		n:            a.n + b.n,
+		ids:          make([]string, 0, a.n+b.n),
+		codes:        make([][]uint16, len(a.codes)),
+		rawProtected: make([][]float64, len(a.rawProtected)),
+		observed:     make([][]float64, len(a.observed)),
+	}
+	out.ids = append(append(out.ids, a.ids...), b.ids...)
+	for i := range a.codes {
+		out.codes[i] = append(append([]uint16{}, a.codes[i]...), b.codes[i]...)
+		out.rawProtected[i] = append(append([]float64{}, a.rawProtected[i]...), b.rawProtected[i]...)
+	}
+	for i := range a.observed {
+		out.observed[i] = append(append([]float64{}, a.observed[i]...), b.observed[i]...)
+	}
+	return out, nil
+}
+
+// sameSchema checks structural equality of two schemas.
+func sameSchema(a, b *Schema) error {
+	if len(a.Protected) != len(b.Protected) || len(a.Observed) != len(b.Observed) {
+		return errors.New("dataset: schemas differ in attribute counts")
+	}
+	check := func(x, y Attribute) error {
+		if x.Name != y.Name || x.Kind != y.Kind || x.Min != y.Min || x.Max != y.Max || x.Buckets != y.Buckets {
+			return fmt.Errorf("dataset: attribute %q differs between schemas", x.Name)
+		}
+		if len(x.Values) != len(y.Values) {
+			return fmt.Errorf("dataset: attribute %q differs in values", x.Name)
+		}
+		for i := range x.Values {
+			if x.Values[i] != y.Values[i] {
+				return fmt.Errorf("dataset: attribute %q differs in values", x.Name)
+			}
+		}
+		return nil
+	}
+	for i := range a.Protected {
+		if err := check(a.Protected[i], b.Protected[i]); err != nil {
+			return err
+		}
+	}
+	for i := range a.Observed {
+		if err := check(a.Observed[i], b.Observed[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Subset returns a new Dataset containing only the workers at the given
+// row indices, in that order. The schema is shared structurally (cloned);
+// duplicate indices are allowed and produce duplicate workers.
+func (d *Dataset) Subset(indices []int) (*Dataset, error) {
+	if len(indices) == 0 {
+		return nil, errors.New("dataset: empty subset")
+	}
+	out := &Dataset{
+		schema:       d.schema.Clone(),
+		n:            len(indices),
+		ids:          make([]string, len(indices)),
+		codes:        make([][]uint16, len(d.codes)),
+		rawProtected: make([][]float64, len(d.rawProtected)),
+		observed:     make([][]float64, len(d.observed)),
+	}
+	for a := range d.codes {
+		out.codes[a] = make([]uint16, len(indices))
+		out.rawProtected[a] = make([]float64, len(indices))
+	}
+	for a := range d.observed {
+		out.observed[a] = make([]float64, len(indices))
+	}
+	for k, i := range indices {
+		if i < 0 || i >= d.n {
+			return nil, fmt.Errorf("dataset: subset index %d out of range", i)
+		}
+		out.ids[k] = d.ids[i]
+		for a := range d.codes {
+			out.codes[a][k] = d.codes[a][i]
+			out.rawProtected[a][k] = d.rawProtected[a][i]
+		}
+		for a := range d.observed {
+			out.observed[a][k] = d.observed[a][i]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary ensures arbitrary bytes never panic the snapshot reader
+// and that a valid snapshot embedded in the corpus still round-trips.
+func FuzzReadBinary(f *testing.F) {
+	ds, err := NewBuilder(testSchema()).
+		Add("w1", map[string]any{"Gender": "Male", "Country": "India", "YearOfBirth": 1984},
+			map[string]any{"LanguageTest": 80.0, "ApprovalRate": 55.0}).
+		Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := ds.WriteBinary(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("FRNKDS1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("garbage that is long enough to not be magic"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be a coherent dataset.
+		if back.N() <= 0 {
+			t.Fatal("parsed dataset with non-positive N")
+		}
+		if err := back.Schema().Validate(); err != nil {
+			t.Fatalf("parsed dataset with invalid schema: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV ensures arbitrary CSV input never panics the reader.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,Gender,Country,YearOfBirth,LanguageTest,ApprovalRate\nw,Male,India,1984,80,55\n")
+	f.Add("id,Gender\n")
+	f.Add("")
+	f.Add("id,Gender,Country,YearOfBirth,LanguageTest,ApprovalRate\nw,Alien,India,1984,80,55\n")
+	schema := testSchema()
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), schema)
+		if err != nil {
+			return
+		}
+		if ds.N() <= 0 {
+			t.Fatal("parsed dataset with non-positive N")
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// InferOptions controls schema inference for arbitrary CSV data.
+type InferOptions struct {
+	// Protected names the columns to treat as protected attributes.
+	Protected []string
+	// Observed names the columns to treat as observed (skill) attributes;
+	// they must be numeric.
+	Observed []string
+	// IDColumn names the worker-ID column; empty synthesizes row numbers.
+	IDColumn string
+	// Buckets is the bucket count for numeric protected attributes
+	// (default 5, the paper's "maximum of 5 values").
+	Buckets int
+	// MaxCategories caps the distinct values of a categorical column
+	// (default 64); more distinct values is an error, catching columns
+	// that are really free text or identifiers.
+	MaxCategories int
+}
+
+// InferCSV loads a CSV with a header row and builds both a Schema and a
+// Dataset from it, inferring each attribute's kind from its values: a
+// column whose every value parses as a number is numeric (range from the
+// data), anything else is categorical (values from the data). This makes
+// the auditor usable on real exported platform data without hand-writing a
+// schema.
+func InferCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
+	if len(opts.Protected) == 0 {
+		return nil, errors.New("dataset: infer needs at least one protected column")
+	}
+	if len(opts.Observed) == 0 {
+		return nil, errors.New("dataset: infer needs at least one observed column")
+	}
+	if opts.Buckets <= 0 {
+		opts.Buckets = 5
+	}
+	if opts.MaxCategories <= 0 {
+		opts.MaxCategories = 64
+	}
+
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, name := range append(append([]string{}, opts.Protected...), opts.Observed...) {
+		if _, ok := col[name]; !ok {
+			return nil, fmt.Errorf("dataset: csv has no column %q", name)
+		}
+	}
+	idCol := -1
+	if opts.IDColumn != "" {
+		c, ok := col[opts.IDColumn]
+		if !ok {
+			return nil, fmt.Errorf("dataset: csv has no id column %q", opts.IDColumn)
+		}
+		idCol = c
+	}
+
+	var rows [][]string
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("dataset: csv has no data rows")
+	}
+
+	schema := &Schema{}
+	for _, name := range opts.Protected {
+		attr, err := inferColumn(name, rows, col[name], opts)
+		if err != nil {
+			return nil, err
+		}
+		schema.Protected = append(schema.Protected, attr)
+	}
+	for _, name := range opts.Observed {
+		attr, err := inferColumn(name, rows, col[name], opts)
+		if err != nil {
+			return nil, err
+		}
+		if attr.Kind != Numeric {
+			return nil, fmt.Errorf("dataset: observed column %q is not numeric", name)
+		}
+		schema.Observed = append(schema.Observed, attr)
+	}
+
+	b := NewBuilder(schema)
+	for i, row := range rows {
+		id := fmt.Sprintf("row%06d", i)
+		if idCol >= 0 {
+			id = row[idCol]
+		}
+		prot := map[string]any{}
+		for k, name := range opts.Protected {
+			cell := row[col[name]]
+			if schema.Protected[k].Kind == Categorical {
+				prot[name] = cell
+			} else {
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: row %d column %q: %w", i+2, name, err)
+				}
+				prot[name] = f
+			}
+		}
+		obs := map[string]any{}
+		for _, name := range opts.Observed {
+			f, err := strconv.ParseFloat(row[col[name]], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %q: %w", i+2, name, err)
+			}
+			obs[name] = f
+		}
+		b.Add(id, prot, obs)
+	}
+	return b.Build()
+}
+
+// inferColumn decides a column's kind and value domain from its data.
+func inferColumn(name string, rows [][]string, c int, opts InferOptions) (Attribute, error) {
+	numeric := true
+	min, max := 0.0, 0.0
+	distinct := map[string]bool{}
+	for i, row := range rows {
+		if c >= len(row) {
+			return Attribute{}, fmt.Errorf("dataset: row %d is short (no column %q)", i+2, name)
+		}
+		cell := row[c]
+		if f, err := strconv.ParseFloat(cell, 64); err == nil && numeric {
+			if i == 0 || f < min {
+				min = f
+			}
+			if i == 0 || f > max {
+				max = f
+			}
+		} else {
+			numeric = false
+		}
+		distinct[cell] = true
+		if !numeric && len(distinct) > opts.MaxCategories {
+			return Attribute{}, fmt.Errorf(
+				"dataset: column %q has more than %d distinct values; is it really an attribute?",
+				name, opts.MaxCategories)
+		}
+	}
+	if numeric {
+		if !(max > min) {
+			// Constant numeric column: widen so the range is valid.
+			max = min + 1
+		}
+		return Num(name, min, max, opts.Buckets), nil
+	}
+	values := make([]string, 0, len(distinct))
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	return Cat(name, values...), nil
+}

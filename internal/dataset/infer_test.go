@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const inferCSV = `worker,city,gender,age,rating,tests_passed
+alice,Paris,F,34,4.5,12
+bob,Lyon,M,29,3.9,7
+carol,Paris,F,51,4.9,30
+dave,Nice,M,43,2.1,3
+erin,Lyon,F,38,4.0,15
+`
+
+func TestInferCSVHappyPath(t *testing.T) {
+	ds, err := InferCSV(strings.NewReader(inferCSV), InferOptions{
+		Protected: []string{"gender", "city", "age"},
+		Observed:  []string{"rating", "tests_passed"},
+		IDColumn:  "worker",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 5 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	if ds.ID(0) != "alice" {
+		t.Fatalf("id = %q", ds.ID(0))
+	}
+	s := ds.Schema()
+	// gender → categorical {F, M}; city → categorical; age → numeric.
+	g := s.Protected[s.ProtectedIndex("gender")]
+	if g.Kind != Categorical || len(g.Values) != 2 || g.Values[0] != "F" {
+		t.Fatalf("gender attr = %+v", g)
+	}
+	city := s.Protected[s.ProtectedIndex("city")]
+	if city.Kind != Categorical || len(city.Values) != 3 {
+		t.Fatalf("city attr = %+v", city)
+	}
+	age := s.Protected[s.ProtectedIndex("age")]
+	if age.Kind != Numeric || age.Min != 29 || age.Max != 51 || age.Buckets != 5 {
+		t.Fatalf("age attr = %+v", age)
+	}
+	// Observed ranges come from the data.
+	rating := s.Observed[s.ObservedIndex("rating")]
+	if rating.Min != 2.1 || rating.Max != 4.9 {
+		t.Fatalf("rating attr = %+v", rating)
+	}
+	if v := ds.Observed(s.ObservedIndex("tests_passed"), 2); v != 30 {
+		t.Fatalf("carol tests_passed = %v", v)
+	}
+}
+
+func TestInferCSVSynthesizedIDs(t *testing.T) {
+	ds, err := InferCSV(strings.NewReader(inferCSV), InferOptions{
+		Protected: []string{"gender"},
+		Observed:  []string{"rating"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ID(0) != "row000000" {
+		t.Fatalf("synthesized id = %q", ds.ID(0))
+	}
+}
+
+func TestInferCSVErrors(t *testing.T) {
+	opts := InferOptions{Protected: []string{"gender"}, Observed: []string{"rating"}}
+	cases := []struct {
+		name string
+		csv  string
+		opts InferOptions
+	}{
+		{"no protected", inferCSV, InferOptions{Observed: []string{"rating"}}},
+		{"no observed", inferCSV, InferOptions{Protected: []string{"gender"}}},
+		{"missing column", inferCSV, InferOptions{Protected: []string{"nope"}, Observed: []string{"rating"}}},
+		{"missing id column", inferCSV, InferOptions{Protected: []string{"gender"}, Observed: []string{"rating"}, IDColumn: "nope"}},
+		{"empty file", "", opts},
+		{"header only", "worker,city,gender,age,rating,tests_passed\n", opts},
+		{"categorical observed", inferCSV, InferOptions{Protected: []string{"gender"}, Observed: []string{"city"}}},
+	}
+	for _, c := range cases {
+		if _, err := InferCSV(strings.NewReader(c.csv), c.opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestInferCSVCategoryCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("name,score\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString(strings.Repeat("x", i+1) + ",1\n")
+	}
+	_, err := InferCSV(strings.NewReader(b.String()), InferOptions{
+		Protected:     []string{"name"},
+		Observed:      []string{"score"},
+		MaxCategories: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "distinct") {
+		t.Fatalf("high-cardinality column accepted: %v", err)
+	}
+}
+
+func TestInferCSVConstantNumericColumn(t *testing.T) {
+	csv := "g,x,s\nA,5,1\nB,5,2\n"
+	ds, err := InferCSV(strings.NewReader(csv), InferOptions{
+		Protected: []string{"g", "x"},
+		Observed:  []string{"s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Schema().Protected[ds.Schema().ProtectedIndex("x")]
+	if !(x.Max > x.Min) {
+		t.Fatalf("constant column produced empty range: %+v", x)
+	}
+}
+
+func TestInferThenAudit(t *testing.T) {
+	// The inferred dataset must flow straight into the partitioning
+	// machinery: infer, then split on an inferred categorical attribute.
+	ds, err := InferCSV(strings.NewReader(inferCSV), InferOptions{
+		Protected: []string{"gender", "city"},
+		Observed:  []string{"rating"},
+		IDColumn:  "worker",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := ds.Schema().ProtectedIndex("gender")
+	counts := map[int]int{}
+	for i := 0; i < ds.N(); i++ {
+		counts[ds.Code(gi, i)]++
+	}
+	if counts[0] != 3 || counts[1] != 2 { // F=3, M=2
+		t.Fatalf("gender counts = %v", counts)
+	}
+}

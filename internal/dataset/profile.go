@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AttributeProfile summarizes one attribute's values across a population —
+// the data-exploration step before an audit ("is my population balanced at
+// all?").
+type AttributeProfile struct {
+	// Name and Kind identify the attribute.
+	Name string
+	Kind Kind
+	// Protected reports whether it is a protected attribute.
+	Protected bool
+	// Counts maps value labels to their frequencies. For numeric
+	// attributes the labels are the partitioning buckets.
+	Counts map[string]int
+	// Min, Max and Mean describe numeric attributes (zero for
+	// categorical).
+	Min, Max, Mean float64
+}
+
+// Profile computes per-attribute summaries of the whole population.
+func Profile(d *Dataset) []AttributeProfile {
+	var out []AttributeProfile
+	for a, attr := range d.schema.Protected {
+		p := AttributeProfile{Name: attr.Name, Kind: attr.Kind, Protected: true, Counts: map[string]int{}}
+		sum := 0.0
+		p.Min, p.Max = math.Inf(1), math.Inf(-1)
+		for i := 0; i < d.n; i++ {
+			p.Counts[attr.ValueLabel(d.Code(a, i))]++
+			if attr.Kind == Numeric {
+				v := d.rawProtected[a][i]
+				sum += v
+				if v < p.Min {
+					p.Min = v
+				}
+				if v > p.Max {
+					p.Max = v
+				}
+			}
+		}
+		if attr.Kind == Numeric {
+			p.Mean = sum / float64(d.n)
+		} else {
+			p.Min, p.Max = 0, 0
+		}
+		out = append(out, p)
+	}
+	for a, attr := range d.schema.Observed {
+		p := AttributeProfile{Name: attr.Name, Kind: Numeric, Counts: map[string]int{}}
+		sum := 0.0
+		p.Min, p.Max = math.Inf(1), math.Inf(-1)
+		for i := 0; i < d.n; i++ {
+			v := d.observed[a][i]
+			sum += v
+			if v < p.Min {
+				p.Min = v
+			}
+			if v > p.Max {
+				p.Max = v
+			}
+		}
+		p.Mean = sum / float64(d.n)
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteProfile renders the population profile as aligned text.
+func WriteProfile(w io.Writer, d *Dataset) error {
+	profiles := Profile(d)
+	var b strings.Builder
+	fmt.Fprintf(&b, "population: %d workers\n", d.N())
+	for _, p := range profiles {
+		role := "observed"
+		if p.Protected {
+			role = "protected"
+		}
+		fmt.Fprintf(&b, "\n%s (%s, %s)\n", p.Name, p.Kind, role)
+		if p.Kind == Numeric {
+			fmt.Fprintf(&b, "  range [%g, %g], mean %.4g\n", p.Min, p.Max, p.Mean)
+		}
+		if p.Protected {
+			labels := make([]string, 0, len(p.Counts))
+			for l := range p.Counts {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				n := p.Counts[l]
+				fmt.Fprintf(&b, "  %-20s %6d  (%.1f%%)\n", l, n, 100*float64(n)/float64(d.N()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfile(t *testing.T) {
+	ds := buildOne(t) // w1: Male/India/1984, 80/55; w2: Female/America/1999, 90/70
+	profiles := Profile(ds)
+	if len(profiles) != 5 { // 3 protected + 2 observed
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	byName := map[string]AttributeProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	g := byName["Gender"]
+	if !g.Protected || g.Counts["Male"] != 1 || g.Counts["Female"] != 1 {
+		t.Fatalf("gender profile = %+v", g)
+	}
+	y := byName["YearOfBirth"]
+	if y.Min != 1984 || y.Max != 1999 || math.Abs(y.Mean-1991.5) > 1e-9 {
+		t.Fatalf("year profile = %+v", y)
+	}
+	lt := byName["LanguageTest"]
+	if lt.Protected || lt.Min != 80 || lt.Max != 90 || lt.Mean != 85 {
+		t.Fatalf("language test profile = %+v", lt)
+	}
+}
+
+func TestWriteProfile(t *testing.T) {
+	ds := buildOne(t)
+	var b strings.Builder
+	if err := WriteProfile(&b, ds); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"2 workers", "Gender", "Male", "(50.0%)", "LanguageTest", "mean 85"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+}

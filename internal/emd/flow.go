@@ -1,0 +1,242 @@
+package emd
+
+import (
+	"errors"
+	"math"
+)
+
+// Transport solves the balanced transportation problem underlying the EMD
+// for an arbitrary ground-distance matrix: move the mass of supply PMF p
+// onto demand PMF q at minimum total cost, where cost[i][j] is the cost of
+// moving one unit of mass from source bin i to sink bin j.
+//
+// It returns the minimum total cost. Both PMFs must sum to (approximately)
+// the same mass. The solver is a successive-shortest-paths min-cost-flow
+// specialized to the bipartite transportation structure; bin counts in
+// fairrank are small (tens), so the O(V·E·flow-steps) bound is irrelevant
+// in practice, but correctness against the closed form is property-tested.
+func Transport(p, q []float64, cost [][]float64) (float64, error) {
+	n, m := len(p), len(q)
+	if n == 0 || m == 0 {
+		return 0, errors.New("emd: empty distribution")
+	}
+	if len(cost) != n {
+		return 0, errors.New("emd: cost matrix has wrong number of rows")
+	}
+	for _, row := range cost {
+		if len(row) != m {
+			return 0, errors.New("emd: cost matrix has wrong number of columns")
+		}
+	}
+	sp, sq := 0.0, 0.0
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return 0, errors.New("emd: negative or NaN mass in supply")
+		}
+		sp += v
+	}
+	for _, v := range q {
+		if v < 0 || math.IsNaN(v) {
+			return 0, errors.New("emd: negative or NaN mass in demand")
+		}
+		sq += v
+	}
+	if math.Abs(sp-sq) > 1e-6*(sp+sq+1) {
+		return 0, errors.New("emd: supply and demand masses differ")
+	}
+	if sp == 0 {
+		return 0, nil
+	}
+
+	// Scale mass to integers to avoid floating-point flow residue issues:
+	// work in units of 1e-9 of total mass.
+	const scale = 1e9
+	supply := make([]int64, n)
+	demand := make([]int64, m)
+	var totS, totD int64
+	for i, v := range p {
+		supply[i] = int64(math.Round(v / sp * scale))
+		totS += supply[i]
+	}
+	for j, v := range q {
+		demand[j] = int64(math.Round(v / sq * scale))
+		totD += demand[j]
+	}
+	// Fix rounding drift on the largest entries.
+	adjust(supply, scale-totS)
+	adjust(demand, scale-totD)
+
+	f := newFlowNet(n, m, cost)
+	costTotal, err := f.minCost(supply, demand)
+	if err != nil {
+		return 0, err
+	}
+	return costTotal / scale * sp, nil
+}
+
+// adjust adds delta to the largest element of xs (delta may be negative).
+func adjust(xs []int64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	xs[best] += delta
+}
+
+// flowNet is a min-cost-flow network for the transportation problem:
+// node 0 = super-source, nodes 1..n = sources, nodes n+1..n+m = sinks,
+// node n+m+1 = super-sink.
+type flowNet struct {
+	n, m  int
+	head  []int
+	next  []int
+	to    []int
+	cap   []int64
+	costE []float64
+}
+
+func newFlowNet(n, m int, cost [][]float64) *flowNet {
+	f := &flowNet{n: n, m: m}
+	nodes := n + m + 2
+	f.head = make([]int, nodes)
+	for i := range f.head {
+		f.head[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			f.addEdge(1+i, 1+n+j, 0, cost[i][j])
+		}
+	}
+	return f
+}
+
+func (f *flowNet) addEdge(u, v int, capacity int64, c float64) {
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, capacity)
+	f.costE = append(f.costE, c)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = len(f.to) - 1
+
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.costE = append(f.costE, -c)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = len(f.to) - 1
+}
+
+// minCost pushes all supply to all demand and returns the total cost in
+// integer-mass units.
+func (f *flowNet) minCost(supply, demand []int64) (float64, error) {
+	src := 0
+	dst := f.n + f.m + 1
+	var need int64
+	for i, s := range supply {
+		if s > 0 {
+			f.addEdge(src, 1+i, s, 0)
+			need += s
+		}
+	}
+	for j, d := range demand {
+		if d > 0 {
+			f.addEdge(1+f.n+j, dst, d, 0)
+		}
+	}
+	// Middle edges currently have zero capacity; open them fully.
+	for e := 0; e < len(f.to); e += 2 {
+		u := f.to[e^1]
+		if u >= 1 && u <= f.n && f.to[e] >= 1+f.n && f.to[e] <= f.n+f.m {
+			f.cap[e] = need
+		}
+	}
+
+	nodes := f.n + f.m + 2
+	total := 0.0
+	dist := make([]float64, nodes)
+	inQueue := make([]bool, nodes)
+	prevEdge := make([]int, nodes)
+
+	for need > 0 {
+		// Bellman-Ford / SPFA shortest path by cost.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		inQueue[src] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for e := f.head[u]; e != -1; e = f.next[e] {
+				if f.cap[e] <= 0 {
+					continue
+				}
+				v := f.to[e]
+				nd := dist[u] + f.costE[e]
+				if nd < dist[v]-1e-15 {
+					dist[v] = nd
+					prevEdge[v] = e
+					if !inQueue[v] {
+						queue = append(queue, v)
+						inQueue[v] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[dst], 1) {
+			return 0, errors.New("emd: flow network disconnected")
+		}
+		// Find bottleneck along the path and push.
+		push := need
+		for v := dst; v != src; {
+			e := prevEdge[v]
+			if f.cap[e] < push {
+				push = f.cap[e]
+			}
+			v = f.to[e^1]
+		}
+		for v := dst; v != src; {
+			e := prevEdge[v]
+			f.cap[e] -= push
+			f.cap[e^1] += push
+			v = f.to[e^1]
+		}
+		total += dist[dst] * float64(push)
+		need -= push
+	}
+	return total, nil
+}
+
+// LinearCost builds the |i-j|·unit ground-distance matrix for n source and
+// m sink bins, the matrix under which Transport reproduces the 1-D EMD.
+func LinearCost(n, m int, unit float64) [][]float64 {
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, m)
+		for j := range c[i] {
+			c[i][j] = math.Abs(float64(i-j)) * unit
+		}
+	}
+	return c
+}
+
+// ThresholdedCost builds the Pele-Werman style thresholded ground distance
+// min(|i-j|·unit, t). Thresholding makes the EMD robust to outlier bins and
+// is the basis of the fast EMD variants cited by the paper.
+func ThresholdedCost(n, m int, unit, t float64) [][]float64 {
+	c := LinearCost(n, m, unit)
+	for i := range c {
+		for j := range c[i] {
+			if c[i][j] > t {
+				c[i][j] = t
+			}
+		}
+	}
+	return c
+}

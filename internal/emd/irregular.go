@@ -1,0 +1,27 @@
+package emd
+
+import (
+	"math"
+
+	"fairrank/internal/histogram"
+)
+
+// IrregularDistance computes the EMD between two irregular (arbitrary-edge)
+// histograms via the transportation solver, with ground distance equal to
+// the absolute difference of bin centers. This is what connects quantile
+// binning (histogram.QuantileEdges) to the unfairness measure: the two
+// histograms may have different bin layouts.
+func IrregularDistance(a, b *histogram.Irregular) (float64, error) {
+	if a == nil || b == nil {
+		return 0, ErrIncompatible
+	}
+	p, q := a.PMF(), b.PMF()
+	cost := make([][]float64, len(p))
+	for i := range cost {
+		cost[i] = make([]float64, len(q))
+		for j := range cost[i] {
+			cost[i][j] = math.Abs(a.BinCenter(i) - b.BinCenter(j))
+		}
+	}
+	return Transport(p, q, cost)
+}

@@ -1,0 +1,96 @@
+package emd
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/histogram"
+	"fairrank/internal/rng"
+)
+
+func irr(t *testing.T, edges []float64, vals ...float64) *histogram.Irregular {
+	t.Helper()
+	h, err := histogram.NewIrregular(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h
+}
+
+func TestIrregularDistanceIdentical(t *testing.T) {
+	a := irr(t, []float64{0, 0.5, 1}, 0.25, 0.75)
+	b := irr(t, []float64{0, 0.5, 1}, 0.25, 0.75)
+	d, err := IrregularDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d) > 1e-9 {
+		t.Fatalf("identical irregular EMD = %v", d)
+	}
+}
+
+func TestIrregularDistanceKnownShift(t *testing.T) {
+	// All mass at center 0.25 vs all mass at center 0.75: EMD = 0.5.
+	a := irr(t, []float64{0, 0.5, 1}, 0.25)
+	b := irr(t, []float64{0, 0.5, 1}, 0.75)
+	d, err := IrregularDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-6 {
+		t.Fatalf("EMD = %v, want 0.5", d)
+	}
+}
+
+func TestIrregularDistanceDifferentLayouts(t *testing.T) {
+	// Same underlying distribution, different edges: distance small.
+	r := rng.New(1)
+	a := irr(t, []float64{0, 0.25, 0.5, 0.75, 1})
+	b := irr(t, []float64{0, 0.1, 0.5, 0.9, 1})
+	for i := 0; i < 20000; i++ {
+		v := r.Float64()
+		a.Add(v)
+		b.Add(v)
+	}
+	d, err := IrregularDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.12 {
+		t.Fatalf("same-data cross-layout EMD = %v, want small", d)
+	}
+}
+
+func TestIrregularDistanceNil(t *testing.T) {
+	a := irr(t, []float64{0, 1}, 0.5)
+	if _, err := IrregularDistance(nil, a); err != ErrIncompatible {
+		t.Fatalf("nil err = %v", err)
+	}
+	if _, err := IrregularDistance(a, nil); err != ErrIncompatible {
+		t.Fatalf("nil err = %v", err)
+	}
+}
+
+func TestIrregularDistanceSymmetric(t *testing.T) {
+	r := rng.New(3)
+	a := irr(t, []float64{0, 0.3, 1})
+	b := irr(t, []float64{0, 0.6, 0.8, 1})
+	for i := 0; i < 100; i++ {
+		a.Add(r.Float64())
+		b.Add(r.Float64())
+	}
+	ab, err := IrregularDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := IrregularDistance(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab-ba) > 1e-9 {
+		t.Fatalf("asymmetric: %v vs %v", ab, ba)
+	}
+}

@@ -1,0 +1,144 @@
+package emd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairrank/internal/histogram"
+	"fairrank/internal/rng"
+)
+
+func TestMetricStringRoundTrip(t *testing.T) {
+	for _, m := range []Metric{MetricEMD, MetricL1, MetricTV, MetricChiSquare, MetricJS, MetricKS, MetricHellinger} {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v: got %v, err %v", m, got, err)
+		}
+	}
+	if _, err := ParseMetric("nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if s := Metric(99).String(); s != "metric(99)" {
+		t.Errorf("unknown String = %q", s)
+	}
+}
+
+func TestCompareKnownValues(t *testing.T) {
+	// p = all mass bin 0, q = all mass bin 1 (of 2 bins, width 0.5).
+	p := hist(2, 0.1)
+	q := hist(2, 0.9)
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{MetricEMD, 0.5}, // one-bin shift * width 0.5
+		{MetricL1, 2},
+		{MetricTV, 1},
+		{MetricChiSquare, 2},
+		{MetricJS, 1},
+		{MetricKS, 1},
+		{MetricHellinger, 1},
+	}
+	for _, c := range cases {
+		got, err := Compare(p, q, c.m)
+		if err != nil {
+			t.Fatalf("%v: %v", c.m, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestCompareIdenticalZero(t *testing.T) {
+	h := hist(10, 0.1, 0.4, 0.8)
+	for _, m := range []Metric{MetricEMD, MetricL1, MetricTV, MetricChiSquare, MetricJS, MetricKS, MetricHellinger} {
+		got, err := Compare(h, h.Clone(), m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got != 0 {
+			t.Errorf("%v(h,h) = %v, want 0", m, got)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	a := hist(10, 0.5)
+	b := histogram.MustNew(4, 0, 1)
+	if _, err := Compare(a, b, MetricL1); err != ErrIncompatible {
+		t.Errorf("incompatible err = %v", err)
+	}
+	if _, err := Compare(a, a, Metric(99)); err == nil {
+		t.Error("unknown metric accepted by Compare")
+	}
+}
+
+// All metrics must be symmetric and non-negative on random PMF pairs.
+func TestMetricsSymmetryProperty(t *testing.T) {
+	metrics := []Metric{MetricEMD, MetricL1, MetricTV, MetricChiSquare, MetricJS, MetricKS, MetricHellinger}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := histogram.MustNew(10, 0, 1)
+		b := histogram.MustNew(10, 0, 1)
+		for i := 0; i < 50; i++ {
+			a.Add(r.Float64())
+			b.Add(r.Float64())
+		}
+		for _, m := range metrics {
+			ab, err1 := Compare(a, b, m)
+			ba, err2 := Compare(b, a, m)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if ab < 0 || math.Abs(ab-ba) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJensenShannonBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := make([]float64, 10)
+		q := make([]float64, 10)
+		sp, sq := 0.0, 0.0
+		for i := range p {
+			p[i], q[i] = r.Float64(), r.Float64()
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := range p {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		js := JensenShannon(p, q)
+		return js >= 0 && js <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareSkipsEmptyJointBins(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0.5, 0.5, 0}
+	if d := ChiSquare(p, q); d != 0 {
+		t.Fatalf("chi2 with empty joint bin = %v", d)
+	}
+}
+
+func TestKSMatchesManual(t *testing.T) {
+	p := []float64{0.6, 0.4, 0}
+	q := []float64{0.2, 0.2, 0.6}
+	// CDFs: p = .6 1 1; q = .2 .4 1 → gaps .4, .6, 0.
+	if got := KolmogorovSmirnov(p, q); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("KS = %v, want 0.6", got)
+	}
+}

@@ -1,0 +1,142 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"fairrank/internal/core"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+func evaluatorFor(t *testing.T, f scoring.Func, n int, seed uint64) *core.Evaluator {
+	t.Helper()
+	ds, err := simulate.PaperWorkers(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEvaluator(ds, f, core.Config{Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func genderBiasedFunc(t *testing.T, seed uint64) scoring.Func {
+	t.Helper()
+	f, err := scoring.NewRuleFunc("f6", seed, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.8, Hi: 1.0},
+		{When: scoring.AttrIs("Gender", "Female"), Lo: 0.0, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGenderDominatesOnF6(t *testing.T) {
+	e := evaluatorFor(t, genderBiasedFunc(t, 1), 800, 1)
+	imps := Attributes(e)
+	if len(imps) != 6 {
+		t.Fatalf("%d importances, want 6", len(imps))
+	}
+	if imps[0].Attribute != "Gender" {
+		t.Fatalf("top attribute = %s, want Gender", imps[0].Attribute)
+	}
+	if imps[0].Solo < 0.75 {
+		t.Fatalf("Gender solo = %v, want ~0.8", imps[0].Solo)
+	}
+	// Every other attribute explains almost nothing on its own.
+	for _, im := range imps[1:] {
+		if im.Solo > 0.1 {
+			t.Errorf("%s solo = %v, want near 0", im.Attribute, im.Solo)
+		}
+	}
+	// Gender's marginal contribution must also dominate.
+	for _, im := range imps[1:] {
+		if imps[0].Marginal <= im.Marginal {
+			t.Errorf("Gender marginal %v not above %s's %v",
+				imps[0].Marginal, im.Attribute, im.Marginal)
+		}
+	}
+}
+
+func TestTwoAttributeBias(t *testing.T) {
+	// f7-style: gender × country. Both attributes should rank above the
+	// unrelated ones on Solo.
+	male := scoring.AttrIs("Gender", "Male")
+	female := scoring.AttrIs("Gender", "Female")
+	american := scoring.AttrIs("Country", "America")
+	f7, err := scoring.NewRuleFunc("f7", 2, []scoring.Rule{
+		{When: scoring.And(male, american), Lo: 0.8, Hi: 1.0},
+		{When: scoring.And(female, american), Lo: 0.0, Hi: 0.2},
+		{When: scoring.AttrIs("Country", "India"), Lo: 0.5, Hi: 0.7},
+		{When: female, Lo: 0.8, Hi: 1.0},
+		{When: male, Lo: 0.0, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := evaluatorFor(t, f7, 800, 2)
+	imps := Attributes(e)
+	rank := map[string]int{}
+	bySolo := map[string]float64{}
+	for i, im := range imps {
+		rank[im.Attribute] = i
+		bySolo[im.Attribute] = im.Solo
+	}
+	if rank["Country"] != 0 {
+		t.Errorf("Country ranked %d on f7: %+v", rank["Country"], imps)
+	}
+	// f7 is gerrymandered: within each gender the high/low halves cancel,
+	// so a gender-only audit sees (almost) nothing. This is precisely the
+	// subgroup-fairness motivation — single-attribute importance cannot
+	// expose it...
+	if bySolo["Gender"] > 0.15 {
+		t.Errorf("Gender solo = %v; f7 should hide from a gender-only audit", bySolo["Gender"])
+	}
+	// ...while the combination audit over Gender × Country sees the full
+	// designed disparity.
+	gender := e.Dataset().Schema().ProtectedIndex("Gender")
+	country := e.Dataset().Schema().ProtectedIndex("Country")
+	combined := core.Balanced(e, []int{gender, country})
+	if combined.Unfairness < bySolo["Gender"]+0.2 {
+		t.Errorf("combined audit %v did not expose the hidden interaction (gender solo %v)",
+			combined.Unfairness, bySolo["Gender"])
+	}
+}
+
+func TestUnbiasedFunctionFlatImportance(t *testing.T) {
+	f, err := scoring.NewLinear("f1", map[string]float64{"LanguageTest": 0.5, "ApprovalRate": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := evaluatorFor(t, f, 800, 3)
+	imps := Attributes(e)
+	for _, im := range imps {
+		if im.Solo > 0.12 {
+			t.Errorf("%s solo = %v on random scores", im.Attribute, im.Solo)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	e := evaluatorFor(t, genderBiasedFunc(t, 4), 300, 4)
+	imps := Attributes(e)
+	var b strings.Builder
+	if err := Report(&b, imps); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"attribute", "solo", "marginal", "Gender"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "Gender") > strings.Index(out, "Country") {
+		t.Error("Gender not listed first for f6")
+	}
+	if err := Report(&b, nil); err == nil {
+		t.Error("empty importances accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package histogram
+
+import (
+	"errors"
+	"sort"
+)
+
+// QuantileEdges computes equal-frequency (quantile) bin edges for the given
+// values. It returns bins+1 edges; the first is the minimum value and the
+// last the maximum. Duplicate edges caused by heavy ties are deduplicated,
+// so the returned slice may describe fewer bins than requested.
+//
+// Equal-width binning is what the paper uses; quantile binning is provided
+// as an alternative for heavily skewed scoring functions.
+func QuantileEdges(values []float64, bins int) ([]float64, error) {
+	if bins < 1 {
+		return nil, ErrBadBins
+	}
+	if len(values) == 0 {
+		return nil, errors.New("histogram: no values for quantile edges")
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+
+	edges := make([]float64, 0, bins+1)
+	edges = append(edges, sorted[0])
+	for i := 1; i < bins; i++ {
+		q := float64(i) / float64(bins)
+		idx := int(q * float64(len(sorted)-1))
+		e := sorted[idx]
+		if e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	if sorted[len(sorted)-1] > edges[len(edges)-1] {
+		edges = append(edges, sorted[len(sorted)-1])
+	}
+	if len(edges) < 2 {
+		// All values identical: synthesize a tiny non-empty range.
+		edges = append(edges, edges[0]+1)
+	}
+	return edges, nil
+}
+
+// Irregular is a histogram over arbitrary (sorted, strictly increasing) bin
+// edges. It supports the same PMF/CDF operations as Histogram and exists to
+// back quantile binning.
+type Irregular struct {
+	edges  []float64
+	counts []float64
+	total  float64
+}
+
+// NewIrregular builds an irregular histogram from bin edges. len(edges)
+// must be >= 2 and edges must be strictly increasing.
+func NewIrregular(edges []float64) (*Irregular, error) {
+	if len(edges) < 2 {
+		return nil, errors.New("histogram: need at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, errors.New("histogram: edges must be strictly increasing")
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Irregular{edges: e, counts: make([]float64, len(edges)-1)}, nil
+}
+
+// Bins returns the number of bins.
+func (h *Irregular) Bins() int { return len(h.counts) }
+
+// Total returns the total recorded mass.
+func (h *Irregular) Total() float64 { return h.total }
+
+// BinIndex locates the bin for v, clamping out-of-range values.
+func (h *Irregular) BinIndex(v float64) int {
+	if v <= h.edges[0] {
+		return 0
+	}
+	if v >= h.edges[len(h.edges)-1] {
+		return len(h.counts) - 1
+	}
+	// sort.SearchFloat64s finds the first edge > v when we search v; bins
+	// are [edges[i], edges[i+1]).
+	i := sort.SearchFloat64s(h.edges, v)
+	if i > 0 && h.edges[i] != v {
+		i--
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Add records one observation.
+func (h *Irregular) Add(v float64) {
+	h.counts[h.BinIndex(v)]++
+	h.total++
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Irregular) BinCenter(i int) float64 {
+	return (h.edges[i] + h.edges[i+1]) / 2
+}
+
+// PMF returns normalized masses; uniform when empty (see Histogram.PMF).
+func (h *Irregular) PMF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		u := 1 / float64(len(h.counts))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = c / h.total
+	}
+	return out
+}

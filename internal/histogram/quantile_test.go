@@ -1,0 +1,107 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/rng"
+)
+
+func TestQuantileEdgesValidation(t *testing.T) {
+	if _, err := QuantileEdges([]float64{1, 2}, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := QuantileEdges(nil, 4); err == nil {
+		t.Error("empty values accepted")
+	}
+}
+
+func TestQuantileEdgesUniform(t *testing.T) {
+	r := rng.New(1)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	edges, err := QuantileEdges(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 5 {
+		t.Fatalf("got %d edges, want 5", len(edges))
+	}
+	// Quartile edges of uniform data should be near 0.25, 0.5, 0.75.
+	for i, want := range []float64{0.25, 0.5, 0.75} {
+		if math.Abs(edges[i+1]-want) > 0.03 {
+			t.Errorf("edge %d = %v, want ~%v", i+1, edges[i+1], want)
+		}
+	}
+}
+
+func TestQuantileEdgesAllEqual(t *testing.T) {
+	edges, err := QuantileEdges([]float64{3, 3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) < 2 {
+		t.Fatalf("degenerate edges: %v", edges)
+	}
+	if !(edges[len(edges)-1] > edges[0]) {
+		t.Fatalf("edges not increasing: %v", edges)
+	}
+}
+
+func TestNewIrregularValidation(t *testing.T) {
+	if _, err := NewIrregular([]float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewIrregular([]float64{1, 1}); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+	if _, err := NewIrregular([]float64{2, 1}); err == nil {
+		t.Error("decreasing edges accepted")
+	}
+}
+
+func TestIrregularBinIndex(t *testing.T) {
+	h, err := NewIrregular([]float64{0, 1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.5, 0}, {1, 1}, {5, 1}, {10, 2}, {50, 2}, {100, 2}, {1000, 2},
+	}
+	for _, c := range cases {
+		if got := h.BinIndex(c.v); got != c.want {
+			t.Errorf("BinIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIrregularAddPMF(t *testing.T) {
+	h, _ := NewIrregular([]float64{0, 1, 2})
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	pmf := h.PMF()
+	if math.Abs(pmf[0]-1.0/3) > 1e-12 || math.Abs(pmf[1]-2.0/3) > 1e-12 {
+		t.Fatalf("PMF = %v", pmf)
+	}
+	if h.Bins() != 2 || h.Total() != 3 {
+		t.Fatalf("Bins=%d Total=%v", h.Bins(), h.Total())
+	}
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Fatalf("BinCenter(0)=%v", c)
+	}
+}
+
+func TestIrregularEmptyPMFUniform(t *testing.T) {
+	h, _ := NewIrregular([]float64{0, 1, 2, 3})
+	for _, p := range h.PMF() {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Fatalf("empty irregular PMF = %v", h.PMF())
+		}
+	}
+}

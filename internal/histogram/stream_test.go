@@ -1,0 +1,114 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/rng"
+)
+
+func TestStreamExactWhenSmall(t *testing.T) {
+	s := NewStream(100)
+	vals := []float64{0.1, 0.2, 0.3, 0.2}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.Total() != 4 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+	min, max := s.Range()
+	if min != 0.1 || max != 0.3 {
+		t.Fatalf("Range = %v,%v", min, max)
+	}
+}
+
+func TestStreamCapsCentroids(t *testing.T) {
+	s := NewStream(8)
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		s.Add(r.Float64())
+	}
+	if len(s.centroids) > 8 {
+		t.Fatalf("%d centroids, cap 8", len(s.centroids))
+	}
+	if s.Total() != 10000 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}
+
+func TestStreamIgnoresNaN(t *testing.T) {
+	s := NewStream(8)
+	s.Add(math.NaN())
+	if s.Total() != 0 {
+		t.Fatal("NaN was recorded")
+	}
+}
+
+func TestStreamMaterializePreservesMassAndShape(t *testing.T) {
+	s := NewStream(64)
+	r := rng.New(2)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Add(r.Float64())
+	}
+	h := s.Materialize(10)
+	if math.Abs(h.Total()-n) > 1e-6 {
+		t.Fatalf("materialized total = %v, want %d", h.Total(), n)
+	}
+	// Uniform input: each of 10 bins should hold roughly n/10.
+	for i := 0; i < 10; i++ {
+		if math.Abs(h.Count(i)-n/10) > 0.15*n/10 {
+			t.Errorf("bin %d mass %v, want ~%v", i, h.Count(i), n/10)
+		}
+	}
+}
+
+func TestStreamMaterializeEmpty(t *testing.T) {
+	h := NewStream(8).Materialize(5)
+	if !h.Empty() || h.Bins() != 5 {
+		t.Fatalf("empty materialize: total=%v bins=%d", h.Total(), h.Bins())
+	}
+}
+
+func TestStreamMaterializeSingleValue(t *testing.T) {
+	s := NewStream(8)
+	s.Add(0.7)
+	s.Add(0.7)
+	h := s.Materialize(4)
+	if h.Total() != 2 {
+		t.Fatalf("total = %v", h.Total())
+	}
+	if !(h.Max() > h.Min()) {
+		t.Fatalf("degenerate range [%v,%v]", h.Min(), h.Max())
+	}
+}
+
+func TestStreamMerge(t *testing.T) {
+	a, b := NewStream(32), NewStream(32)
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		a.Add(r.Float64())
+		b.Add(r.Float64() + 1)
+	}
+	a.Merge(b)
+	if a.Total() != 200 {
+		t.Fatalf("merged total = %v", a.Total())
+	}
+	min, max := a.Range()
+	if min >= 1 || max < 1 {
+		t.Fatalf("merged range = [%v,%v]", min, max)
+	}
+}
+
+func TestStreamTinyCapClamped(t *testing.T) {
+	s := NewStream(1) // clamped to 2
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	if len(s.centroids) > 2 {
+		t.Fatalf("cap not clamped: %d centroids", len(s.centroids))
+	}
+	if s.Total() != 10 {
+		t.Fatalf("total = %v", s.Total())
+	}
+}

@@ -1,0 +1,130 @@
+package marketplace
+
+import (
+	"errors"
+	"fmt"
+
+	"fairrank/internal/rng"
+	"fairrank/internal/scoring"
+	"fairrank/internal/stats"
+)
+
+// AssignmentPolicy decides which worker gets an arriving task, given the
+// current ranking of candidates.
+type AssignmentPolicy int
+
+const (
+	// PolicyTopRanked always assigns the highest-scored candidate — the
+	// utility-maximal policy, and the one that concentrates all income on
+	// the top of the ranking.
+	PolicyTopRanked AssignmentPolicy = iota
+	// PolicyExposureWeighted assigns randomly with probability
+	// proportional to position bias — the click-model behavior of
+	// real requesters browsing a result page.
+	PolicyExposureWeighted
+	// PolicyRoundRobin rotates assignments through the top-k, the
+	// simplest income-equalizing intervention.
+	PolicyRoundRobin
+)
+
+// String names the policy.
+func (p AssignmentPolicy) String() string {
+	switch p {
+	case PolicyTopRanked:
+		return "top-ranked"
+	case PolicyExposureWeighted:
+		return "exposure-weighted"
+	case PolicyRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// IncomeReport summarizes a long-run assignment simulation.
+type IncomeReport struct {
+	// Policy is the simulated assignment policy.
+	Policy AssignmentPolicy
+	// Rounds is the number of tasks assigned.
+	Rounds int
+	// Gini is the Gini coefficient of per-worker income across the whole
+	// population (workers never assigned earn 0).
+	Gini float64
+	// GroupIncome maps each value of the audited attribute to its
+	// members' mean income.
+	GroupIncome map[string]float64
+	// Income is the per-worker income column, indexed like the dataset.
+	Income []float64
+}
+
+// SimulateIncome runs `rounds` task arrivals: each task ranks the
+// population under f, the policy picks an assignee from the top k, and the
+// assignee earns one unit. It reports the resulting income distribution and
+// its per-group means over protected attribute attr — turning a ranking
+// disparity into the long-run economic disparity the paper's motivation
+// describes.
+func (m *Marketplace) SimulateIncome(f scoring.Func, attr, k, rounds int, policy AssignmentPolicy, r *rng.RNG) (IncomeReport, error) {
+	rep := IncomeReport{Policy: policy, GroupIncome: map[string]float64{}}
+	if rounds <= 0 {
+		return rep, errors.New("marketplace: rounds must be positive")
+	}
+	if attr < 0 || attr >= len(m.workers.Schema().Protected) {
+		return rep, fmt.Errorf("marketplace: protected attribute %d out of range", attr)
+	}
+	ranked := RankBy(m.workers, f, k)
+	if len(ranked) == 0 {
+		return rep, errors.New("marketplace: empty ranking")
+	}
+
+	income := make([]float64, m.workers.N())
+	weights := make([]float64, len(ranked))
+	totalW := 0.0
+	for i, rw := range ranked {
+		weights[i] = PositionBias(rw.Rank)
+		totalW += weights[i]
+	}
+	for round := 0; round < rounds; round++ {
+		var pick int
+		switch policy {
+		case PolicyTopRanked:
+			pick = 0
+		case PolicyRoundRobin:
+			pick = round % len(ranked)
+		case PolicyExposureWeighted:
+			x := r.Float64() * totalW
+			pick = len(ranked) - 1
+			for i, w := range weights {
+				x -= w
+				if x < 0 {
+					pick = i
+					break
+				}
+			}
+		default:
+			return rep, fmt.Errorf("marketplace: unknown policy %v", policy)
+		}
+		income[ranked[pick].Worker]++
+	}
+
+	gini, err := stats.Gini(income)
+	if err != nil {
+		return rep, err
+	}
+	def := m.workers.Schema().Protected[attr]
+	sums := make([]float64, def.Cardinality())
+	counts := make([]float64, def.Cardinality())
+	for i := 0; i < m.workers.N(); i++ {
+		c := m.workers.Code(attr, i)
+		sums[c] += income[i]
+		counts[c]++
+	}
+	for v := range sums {
+		if counts[v] > 0 {
+			rep.GroupIncome[def.ValueLabel(v)] = sums[v] / counts[v]
+		}
+	}
+	rep.Rounds = rounds
+	rep.Gini = gini
+	rep.Income = income
+	return rep, nil
+}

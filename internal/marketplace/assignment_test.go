@@ -1,0 +1,131 @@
+package marketplace
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/rng"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+func incomeSetup(t *testing.T) (*Marketplace, scoring.Func, int) {
+	t.Helper()
+	ds, err := simulate.PaperWorkers(300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := scoring.NewRuleFunc("f6", 8, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.8, Hi: 1.0},
+		{When: scoring.AttrIs("Gender", "Female"), Lo: 0.0, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, f6, ds.Schema().ProtectedIndex("Gender")
+}
+
+func TestSimulateIncomeValidation(t *testing.T) {
+	m, f, gender := incomeSetup(t)
+	if _, err := m.SimulateIncome(f, gender, 10, 0, PolicyTopRanked, rng.New(1)); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := m.SimulateIncome(f, 99, 10, 10, PolicyTopRanked, rng.New(1)); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := m.SimulateIncome(f, gender, 10, 10, AssignmentPolicy(99), rng.New(1)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestTopRankedConcentratesIncome(t *testing.T) {
+	m, f, gender := incomeSetup(t)
+	rep, err := m.SimulateIncome(f, gender, 50, 1000, PolicyTopRanked, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker earns everything: Gini near its maximum (n-1)/n.
+	if rep.Gini < 0.99 {
+		t.Fatalf("top-ranked Gini = %v, want ~1", rep.Gini)
+	}
+	total := 0.0
+	for _, inc := range rep.Income {
+		total += inc
+	}
+	if total != 1000 {
+		t.Fatalf("income sums to %v", total)
+	}
+}
+
+func TestRoundRobinEqualizesWithinTopK(t *testing.T) {
+	m, f, gender := incomeSetup(t)
+	top, err := m.SimulateIncome(f, gender, 50, 5000, PolicyTopRanked, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := m.SimulateIncome(f, gender, 50, 5000, PolicyRoundRobin, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := m.SimulateIncome(f, gender, 50, 5000, PolicyExposureWeighted, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rr.Gini < exp.Gini && exp.Gini < top.Gini) {
+		t.Fatalf("Gini ordering violated: rr=%v exp=%v top=%v", rr.Gini, exp.Gini, top.Gini)
+	}
+}
+
+func TestBiasedRankingSkewsGroupIncome(t *testing.T) {
+	// Under f6, the entire top-50 is male, so female mean income is 0 for
+	// every policy that assigns within the top-k.
+	m, f, gender := incomeSetup(t)
+	for _, policy := range []AssignmentPolicy{PolicyTopRanked, PolicyRoundRobin, PolicyExposureWeighted} {
+		rep, err := m.SimulateIncome(f, gender, 50, 2000, policy, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.GroupIncome["Female"] != 0 {
+			t.Fatalf("%v: female income %v despite all-male top-50", policy, rep.GroupIncome["Female"])
+		}
+		if rep.GroupIncome["Male"] <= 0 {
+			t.Fatalf("%v: male income %v", policy, rep.GroupIncome["Male"])
+		}
+	}
+}
+
+func TestFairRankingEqualizesGroupIncome(t *testing.T) {
+	// Under a fair function at full k, group mean incomes are close under
+	// the exposure-weighted policy.
+	ds, _ := simulate.PaperWorkers(300, 9)
+	m, _ := New(ds)
+	fair, _ := scoring.NewLinear("fair", map[string]float64{"LanguageTest": 0.5, "ApprovalRate": 0.5})
+	gender := ds.Schema().ProtectedIndex("Gender")
+	rep, err := m.SimulateIncome(fair, gender, 0, 30000, PolicyExposureWeighted, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	male, female := rep.GroupIncome["Male"], rep.GroupIncome["Female"]
+	if male == 0 || female == 0 {
+		t.Fatalf("degenerate incomes: %v / %v", male, female)
+	}
+	ratio := male / female
+	if math.Abs(ratio-1) > 0.25 {
+		t.Fatalf("fair-function income ratio = %v", ratio)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyTopRanked.String() != "top-ranked" ||
+		PolicyExposureWeighted.String() != "exposure-weighted" ||
+		PolicyRoundRobin.String() != "round-robin" {
+		t.Error("policy names wrong")
+	}
+	if AssignmentPolicy(42).String() != "policy(42)" {
+		t.Error("unknown policy name wrong")
+	}
+}

@@ -1,0 +1,33 @@
+package marketplace_test
+
+import (
+	"fmt"
+
+	"fairrank/internal/marketplace"
+	"fairrank/internal/simulate"
+)
+
+// The platform's basic loop: post a task, get the ranked result page.
+func ExampleMarketplace_Rank() {
+	workers, _ := simulate.PaperWorkers(500, 42)
+	m, _ := marketplace.New(workers)
+	_ = m.PostTask(marketplace.Task{
+		ID:      "web-gig",
+		Title:   "help with HTML and CSS",
+		Weights: map[string]float64{"LanguageTest": 0.7, "ApprovalRate": 0.3},
+	})
+	top, _ := m.Rank("web-gig", 3)
+	for _, rw := range top {
+		fmt.Printf("#%d score %.2f\n", rw.Rank, rw.Score)
+	}
+	// Output:
+	// #1 score 0.95
+	// #2 score 0.95
+	// #3 score 0.93
+}
+
+func ExamplePositionBias() {
+	fmt.Printf("%.2f %.2f %.2f\n",
+		marketplace.PositionBias(1), marketplace.PositionBias(3), marketplace.PositionBias(7))
+	// Output: 1.00 0.50 0.33
+}

@@ -1,0 +1,246 @@
+package marketplace
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/rng"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+func newMarket(t *testing.T, n int, seed uint64) *Marketplace {
+	t.Helper()
+	ds, err := simulate.PaperWorkers(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil population accepted")
+	}
+}
+
+func TestPostTaskValidation(t *testing.T) {
+	m := newMarket(t, 50, 1)
+	good := Task{ID: "t1", Title: "web gig", Weights: map[string]float64{"LanguageTest": 0.7, "ApprovalRate": 0.3}}
+	if err := m.PostTask(good); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	if err := m.PostTask(good); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	if err := m.PostTask(Task{ID: "", Weights: good.Weights}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := m.PostTask(Task{ID: "t2", Weights: map[string]float64{}}); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if err := m.PostTask(Task{ID: "t3", Weights: map[string]float64{"Charisma": 1}}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if got := len(m.Tasks()); got != 1 {
+		t.Fatalf("%d tasks registered, want 1", got)
+	}
+}
+
+func TestScoringFunc(t *testing.T) {
+	m := newMarket(t, 50, 2)
+	m.PostTask(Task{ID: "t1", Weights: map[string]float64{"LanguageTest": 1}})
+	f, err := m.ScoringFunc("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "t1" {
+		t.Errorf("func name = %q", f.Name())
+	}
+	if _, err := m.ScoringFunc("missing"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestRankOrderingAndTopK(t *testing.T) {
+	m := newMarket(t, 200, 3)
+	m.PostTask(Task{ID: "t1", Weights: map[string]float64{"LanguageTest": 0.5, "ApprovalRate": 0.5}})
+	ranked, err := m.Rank("t1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 200 {
+		t.Fatalf("full ranking has %d entries", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatalf("ranking not descending at %d", i)
+		}
+		if ranked[i].Rank != i+1 {
+			t.Fatalf("rank %d mislabeled as %d", i+1, ranked[i].Rank)
+		}
+	}
+	top10, _ := m.Rank("t1", 10)
+	if len(top10) != 10 {
+		t.Fatalf("top-10 has %d entries", len(top10))
+	}
+	for i := range top10 {
+		if top10[i] != ranked[i] {
+			t.Fatalf("top-10 disagrees with full ranking at %d", i)
+		}
+	}
+	if _, err := m.Rank("missing", 5); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestRankDeterministicTiebreak(t *testing.T) {
+	ds, _ := simulate.PaperWorkers(50, 4)
+	constant := scoring.ScoreFunc{
+		FuncName: "const",
+		Fn:       func(_ *dataset.Dataset, _ int) float64 { return 0.5 },
+	}
+	ranked := RankBy(ds, constant, 0)
+	for i := range ranked {
+		if ranked[i].Worker != i {
+			t.Fatalf("tie not broken by worker index at %d: %d", i, ranked[i].Worker)
+		}
+	}
+}
+
+func TestRankQuery(t *testing.T) {
+	m := newMarket(t, 400, 13)
+	m.PostTask(Task{ID: "t1", Weights: map[string]float64{"LanguageTest": 1}})
+	ranked, err := m.RankQuery("t1", "Gender = 'Female' AND YearsExperience >= 5", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 10 {
+		t.Fatalf("%d results", len(ranked))
+	}
+	ds := m.Workers()
+	gender := ds.Schema().ProtectedIndex("Gender")
+	exp := ds.Schema().ProtectedIndex("YearsExperience")
+	for _, rw := range ranked {
+		if ds.Code(gender, rw.Worker) != 1 {
+			t.Fatal("non-female in filtered ranking")
+		}
+		if ds.RawProtected(exp, rw.Worker) < 5 {
+			t.Fatal("under-experienced worker in filtered ranking")
+		}
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("filtered ranking not descending")
+		}
+	}
+	// Error paths.
+	if _, err := m.RankQuery("missing", "Gender = 'Male'", 5); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := m.RankQuery("t1", "][", 5); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if _, err := m.RankQuery("t1", "Charisma = 5", 5); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := m.RankQuery("t1", "LanguageTest > 1000", 5); err == nil {
+		t.Error("empty result set accepted")
+	}
+}
+
+func TestPositionBias(t *testing.T) {
+	if PositionBias(1) != 1 {
+		t.Errorf("rank 1 bias = %v", PositionBias(1))
+	}
+	if got := PositionBias(3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("rank 3 bias = %v, want 0.5", got)
+	}
+	if PositionBias(0) != 0 || PositionBias(-1) != 0 {
+		t.Error("invalid rank should have zero bias")
+	}
+	if PositionBias(2) <= PositionBias(3) {
+		t.Error("bias must decrease with rank")
+	}
+}
+
+func TestGroupExposureBiasedRanking(t *testing.T) {
+	// Rank by a gender-biased function: male exposure must dominate.
+	ds, _ := simulate.PaperWorkers(400, 5)
+	f6, err := scoring.NewRuleFunc("f6", 5, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.8, Hi: 1.0},
+		{When: scoring.AttrIs("Gender", "Female"), Lo: 0.0, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankBy(ds, f6, 50)
+	gender := ds.Schema().ProtectedIndex("Gender")
+	exp, err := GroupExposure(ds, gender, ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp["Male"] <= exp["Female"] {
+		t.Fatalf("male exposure %v not above female %v", exp["Male"], exp["Female"])
+	}
+	if d := ExposureDisparity(exp); !(d > 2) && !math.IsInf(d, 1) {
+		t.Fatalf("disparity = %v, want large", d)
+	}
+	if _, err := GroupExposure(ds, 99, ranked); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+}
+
+func TestExposureDisparityEdgeCases(t *testing.T) {
+	if d := ExposureDisparity(map[string]float64{"a": 1}); d != 1 {
+		t.Errorf("single group disparity = %v", d)
+	}
+	if d := ExposureDisparity(map[string]float64{"a": 0, "b": 0}); d != 1 {
+		t.Errorf("all-zero disparity = %v", d)
+	}
+	if d := ExposureDisparity(map[string]float64{"a": 0, "b": 1}); !math.IsInf(d, 1) {
+		t.Errorf("zero-vs-positive disparity = %v", d)
+	}
+	if d := ExposureDisparity(map[string]float64{"a": 1, "b": 2}); d != 2 {
+		t.Errorf("disparity = %v, want 2", d)
+	}
+}
+
+func TestSimulateHiringBiased(t *testing.T) {
+	m := newMarket(t, 400, 6)
+	m.PostTask(Task{ID: "t1", Weights: map[string]float64{"LanguageTest": 1}})
+	gender := m.Workers().Schema().ProtectedIndex("Gender")
+	stats, err := m.SimulateHiring("t1", gender, 50, 2000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 2000 {
+		t.Fatalf("rounds = %d", stats.Rounds)
+	}
+	total := 0
+	for _, c := range stats.HiresByGroup {
+		total += c
+	}
+	if total != 2000 {
+		t.Fatalf("hires sum to %d", total)
+	}
+}
+
+func TestSimulateHiringValidation(t *testing.T) {
+	m := newMarket(t, 50, 8)
+	m.PostTask(Task{ID: "t1", Weights: map[string]float64{"LanguageTest": 1}})
+	if _, err := m.SimulateHiring("t1", 0, 10, 0, rng.New(1)); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := m.SimulateHiring("t1", 99, 10, 10, rng.New(1)); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := m.SimulateHiring("missing", 0, 10, 10, rng.New(1)); err == nil {
+		t.Error("unknown task accepted")
+	}
+}

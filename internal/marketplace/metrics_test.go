@@ -1,0 +1,145 @@
+package marketplace
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+func scoreIdentity() scoring.Func {
+	return scoring.ScoreFunc{FuncName: "id", Fn: func(ds *dataset.Dataset, i int) float64 {
+		return ds.Observed(0, i)
+	}}
+}
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	ds, _ := simulate.PaperWorkers(100, 1)
+	f, _ := scoring.NewLinear("f", map[string]float64{"LanguageTest": 1})
+	relevance := scoring.Scores(ds, f)
+	ranked := RankBy(ds, f, 0)
+	ndcg, err := NDCG(relevance, ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ndcg-1) > 1e-12 {
+		t.Fatalf("self-ranking NDCG = %v, want 1", ndcg)
+	}
+}
+
+func TestNDCGWorseRanking(t *testing.T) {
+	ds, _ := simulate.PaperWorkers(200, 2)
+	byLang, _ := scoring.NewLinear("lang", map[string]float64{"LanguageTest": 1})
+	byAppr, _ := scoring.NewLinear("appr", map[string]float64{"ApprovalRate": 1})
+	relevance := scoring.Scores(ds, byLang)
+	good := RankBy(ds, byLang, 50)
+	bad := RankBy(ds, byAppr, 50) // ranks by an uncorrelated attribute
+	ng, err := NDCG(relevance, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NDCG(relevance, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(nb < ng) {
+		t.Fatalf("uncorrelated ranking NDCG %v not below optimal %v", nb, ng)
+	}
+}
+
+func TestNDCGErrors(t *testing.T) {
+	if _, err := NDCG([]float64{1}, nil); err == nil {
+		t.Error("empty ranking accepted")
+	}
+	if _, err := NDCG([]float64{1}, []RankedWorker{{Worker: 5, Rank: 1}}); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}
+
+func TestNDCGZeroRelevance(t *testing.T) {
+	rel := []float64{0, 0, 0}
+	ranked := []RankedWorker{{Worker: 0, Rank: 1}, {Worker: 2, Rank: 2}}
+	ndcg, err := NDCG(rel, ranked)
+	if err != nil || ndcg != 1 {
+		t.Fatalf("zero-relevance NDCG = %v, %v", ndcg, err)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []RankedWorker{{Worker: 1, Rank: 1}, {Worker: 2, Rank: 2}, {Worker: 3, Rank: 3}}
+	b := []RankedWorker{{Worker: 2, Rank: 1}, {Worker: 1, Rank: 2}, {Worker: 9, Rank: 3}}
+	// top-2 sets: {1,2} vs {2,1} → identical.
+	o, err := TopKOverlap(a, b, 2)
+	if err != nil || o != 1 {
+		t.Fatalf("overlap = %v, %v", o, err)
+	}
+	// top-3 sets share 2 of 4 distinct → jaccard = 2/4.
+	o, err = TopKOverlap(a, b, 3)
+	if err != nil || math.Abs(o-0.5) > 1e-12 {
+		t.Fatalf("overlap = %v, %v", o, err)
+	}
+	if _, err := TopKOverlap(a, b, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopKOverlap(a, b, 5); err == nil {
+		t.Error("k beyond length accepted")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []RankedWorker{{Worker: 1, Rank: 1}, {Worker: 2, Rank: 2}, {Worker: 3, Rank: 3}}
+	same := []RankedWorker{{Worker: 1, Rank: 1}, {Worker: 2, Rank: 2}, {Worker: 3, Rank: 3}}
+	rev := []RankedWorker{{Worker: 3, Rank: 1}, {Worker: 2, Rank: 2}, {Worker: 1, Rank: 3}}
+	tau, err := KendallTau(a, same)
+	if err != nil || tau != 1 {
+		t.Fatalf("identical tau = %v, %v", tau, err)
+	}
+	tau, err = KendallTau(a, rev)
+	if err != nil || tau != -1 {
+		t.Fatalf("reversed tau = %v, %v", tau, err)
+	}
+	if _, err := KendallTau(a, []RankedWorker{{Worker: 99, Rank: 1}}); err == nil {
+		t.Error("no common workers accepted")
+	}
+}
+
+func TestKendallTauIgnoresNonCommon(t *testing.T) {
+	a := []RankedWorker{{Worker: 1, Rank: 1}, {Worker: 2, Rank: 2}, {Worker: 7, Rank: 3}}
+	b := []RankedWorker{{Worker: 2, Rank: 1}, {Worker: 1, Rank: 2}, {Worker: 8, Rank: 3}}
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != -1 { // only workers 1,2 are common, and they are swapped
+		t.Fatalf("tau = %v, want -1", tau)
+	}
+}
+
+func TestRepairTradeoffMetrics(t *testing.T) {
+	// Full repair changes the ranking (utility cost) but the identity
+	// relevance NDCG stays well above a random shuffle.
+	ds, _ := simulate.PaperWorkers(300, 4)
+	f := scoreIdentity()
+	orig := RankBy(ds, f, 50)
+	// A "repaired" scoring that compresses scores toward the median:
+	compressed := scoring.ScoreFunc{FuncName: "comp", Fn: func(ds *dataset.Dataset, i int) float64 {
+		return 0.5 + (ds.Observed(0, i)/100-0.5)*0.1
+	}}
+	rep := RankBy(ds, compressed, 50)
+	overlap, err := TopKOverlap(orig, rep, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlap < 0.9 {
+		t.Fatalf("monotone transform changed top-k membership: %v", overlap)
+	}
+	tau, err := KendallTau(orig, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.99 {
+		t.Fatalf("monotone transform changed order: tau = %v", tau)
+	}
+}

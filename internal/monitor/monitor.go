@@ -1,0 +1,217 @@
+// Package monitor provides continuous fairness monitoring for a live
+// marketplace. The paper audits a static snapshot of workers; on a real
+// platform workers join, leave, and are re-scored constantly. Monitor
+// maintains the per-group score histograms of a fixed partitioning
+// incrementally, so unfairness can be re-evaluated after every event in
+// O(groups² · bins) without rescanning the population, and raises an alert
+// when unfairness drifts past a threshold.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/emd"
+	"fairrank/internal/histogram"
+)
+
+// Monitor tracks the unfairness of the partitioning induced by a fixed set
+// of protected attributes, under a stream of worker arrivals, departures
+// and re-scores. It is not safe for concurrent use; wrap it with a mutex
+// if events arrive from multiple goroutines.
+type Monitor struct {
+	schema    *dataset.Schema
+	attrs     []int // monitored protected attribute indices
+	bins      int
+	threshold float64
+
+	groups map[string]*histogram.Histogram
+	// workers maps worker ID → (group key, score) so departures and
+	// re-scores need only the ID.
+	workers map[string]workerState
+	// minWorkers suppresses alerts until the population is large enough
+	// for the unfairness estimate to be more than sampling noise.
+	minWorkers int
+}
+
+type workerState struct {
+	key   string
+	score float64
+}
+
+// New creates a monitor over the partitioning induced by the named
+// protected attributes. threshold is the unfairness level at which Alert
+// reports true; bins defaults to 10 when <= 0.
+func New(schema *dataset.Schema, attrs []string, bins int, threshold float64) (*Monitor, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if len(attrs) == 0 {
+		return nil, errors.New("monitor: need at least one attribute")
+	}
+	if threshold < 0 {
+		return nil, errors.New("monitor: negative threshold")
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	m := &Monitor{
+		schema:    schema.Clone(),
+		bins:      bins,
+		threshold: threshold,
+		groups:    map[string]*histogram.Histogram{},
+		workers:   map[string]workerState{},
+	}
+	for _, name := range attrs {
+		i := schema.ProtectedIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("monitor: %q is not a protected attribute", name)
+		}
+		m.attrs = append(m.attrs, i)
+	}
+	return m, nil
+}
+
+// groupKey computes the partition cell of a worker given its protected
+// attribute values (raw strings for categorical, numbers for numeric).
+func (m *Monitor) groupKey(protected map[string]any) (string, error) {
+	key := ""
+	for _, a := range m.attrs {
+		attr := m.schema.Protected[a]
+		v, ok := protected[attr.Name]
+		if !ok {
+			return "", fmt.Errorf("monitor: missing attribute %q", attr.Name)
+		}
+		var code int
+		switch attr.Kind {
+		case dataset.Categorical:
+			s, ok := v.(string)
+			if !ok {
+				return "", fmt.Errorf("monitor: attribute %q wants a string, got %T", attr.Name, v)
+			}
+			code = attr.CategoryIndex(s)
+			if code < 0 {
+				return "", fmt.Errorf("monitor: attribute %q has no value %q", attr.Name, s)
+			}
+		case dataset.Numeric:
+			f, ok := toFloat(v)
+			if !ok {
+				return "", fmt.Errorf("monitor: attribute %q wants a number, got %T", attr.Name, v)
+			}
+			code = attr.BucketIndex(f)
+		}
+		key += fmt.Sprintf("%d=%d|", a, code)
+	}
+	return key, nil
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Join records a worker arriving (or being hired onto) the platform with
+// the given protected attributes and current score.
+func (m *Monitor) Join(id string, protected map[string]any, score float64) error {
+	if id == "" {
+		return errors.New("monitor: empty worker id")
+	}
+	if _, dup := m.workers[id]; dup {
+		return fmt.Errorf("monitor: worker %q already present", id)
+	}
+	key, err := m.groupKey(protected)
+	if err != nil {
+		return err
+	}
+	h := m.groups[key]
+	if h == nil {
+		h = histogram.MustNew(m.bins, 0, 1)
+		m.groups[key] = h
+	}
+	h.Add(score)
+	m.workers[id] = workerState{key: key, score: score}
+	return nil
+}
+
+// Leave records a worker departing the platform.
+func (m *Monitor) Leave(id string) error {
+	st, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("monitor: unknown worker %q", id)
+	}
+	if err := m.groups[st.key].Remove(st.score); err != nil {
+		return err
+	}
+	if m.groups[st.key].Empty() {
+		delete(m.groups, st.key)
+	}
+	delete(m.workers, id)
+	return nil
+}
+
+// Rescore updates a worker's score (e.g. after new reviews arrive).
+func (m *Monitor) Rescore(id string, score float64) error {
+	st, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("monitor: unknown worker %q", id)
+	}
+	if err := m.groups[st.key].Remove(st.score); err != nil {
+		return err
+	}
+	m.groups[st.key].Add(score)
+	st.score = score
+	m.workers[id] = st
+	return nil
+}
+
+// Workers returns the number of tracked workers.
+func (m *Monitor) Workers() int { return len(m.workers) }
+
+// Groups returns the number of non-empty groups.
+func (m *Monitor) Groups() int { return len(m.groups) }
+
+// Unfairness computes the current average pairwise EMD between the
+// non-empty groups' score histograms.
+func (m *Monitor) Unfairness() float64 {
+	if len(m.groups) < 2 {
+		return 0
+	}
+	keys := make([]string, 0, len(m.groups))
+	for k := range m.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*histogram.Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = m.groups[k]
+	}
+	d, err := emd.AveragePairwise(hs, emd.GroundScore)
+	if err != nil {
+		return 0
+	}
+	return d
+}
+
+// SetMinWorkers sets a warm-up guard: Alert never reports a breach while
+// fewer than n workers are tracked, avoiding false alarms from tiny-sample
+// noise. The default is 0 (no guard); Unfairness is unaffected.
+func (m *Monitor) SetMinWorkers(n int) { m.minWorkers = n }
+
+// Alert reports the current unfairness and whether it breaches the
+// configured threshold (subject to the SetMinWorkers warm-up guard).
+func (m *Monitor) Alert() (unfairness float64, breached bool) {
+	u := m.Unfairness()
+	return u, u > m.threshold && len(m.workers) >= m.minWorkers
+}

@@ -1,0 +1,210 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/dataset"
+)
+
+// Compiled is a query bound to a schema, ready to evaluate against workers
+// of datasets with that schema.
+type Compiled struct {
+	expr Expr
+	eval func(ds *dataset.Dataset, i int) bool
+}
+
+// Compile binds a parsed expression to a schema, resolving attribute names
+// and checking type compatibility (string comparisons need categorical
+// attributes, numeric comparisons need numeric protected or observed
+// attributes).
+func Compile(e Expr, schema *dataset.Schema) (*Compiled, error) {
+	eval, err := compile(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{expr: e, eval: eval}, nil
+}
+
+// MustCompile parses and compiles in one step, for statically known
+// queries in tests and examples; it panics on error.
+func MustCompile(input string, schema *dataset.Schema) *Compiled {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	c, err := Compile(e, schema)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String returns the canonical form of the compiled query.
+func (c *Compiled) String() string { return c.expr.String() }
+
+// Match reports whether worker i of ds satisfies the query.
+func (c *Compiled) Match(ds *dataset.Dataset, i int) bool { return c.eval(ds, i) }
+
+// Filter returns the indices of all workers satisfying the query, in row
+// order.
+func (c *Compiled) Filter(ds *dataset.Dataset) []int {
+	var out []int
+	for i := 0; i < ds.N(); i++ {
+		if c.eval(ds, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Select returns the sub-population satisfying the query as a new Dataset.
+// It fails if no worker matches.
+func (c *Compiled) Select(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	idx := c.Filter(ds)
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("query: no workers match %s", c)
+	}
+	return ds.Subset(idx)
+}
+
+// attrRef abstracts how an attribute's value is fetched for comparison.
+type attrRef struct {
+	categorical bool
+	// For categorical: the protected attribute index and its value list.
+	protIdx int
+	values  []string
+	// For numeric: fetch the raw value (protected raw or observed).
+	num func(ds *dataset.Dataset, i int) float64
+}
+
+func resolveAttr(name string, schema *dataset.Schema) (attrRef, error) {
+	if pi := schema.ProtectedIndex(name); pi >= 0 {
+		a := schema.Protected[pi]
+		if a.Kind == dataset.Categorical {
+			return attrRef{categorical: true, protIdx: pi, values: a.Values}, nil
+		}
+		return attrRef{num: func(ds *dataset.Dataset, i int) float64 {
+			return ds.RawProtected(pi, i)
+		}}, nil
+	}
+	if oi := schema.ObservedIndex(name); oi >= 0 {
+		return attrRef{num: func(ds *dataset.Dataset, i int) float64 {
+			return ds.Observed(oi, i)
+		}}, nil
+	}
+	return attrRef{}, fmt.Errorf("query: unknown attribute %q", name)
+}
+
+func compile(e Expr, schema *dataset.Schema) (func(*dataset.Dataset, int) bool, error) {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		l, err := compile(x.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "AND" {
+			return func(ds *dataset.Dataset, i int) bool { return l(ds, i) && r(ds, i) }, nil
+		}
+		return func(ds *dataset.Dataset, i int) bool { return l(ds, i) || r(ds, i) }, nil
+
+	case *NotExpr:
+		inner, err := compile(x.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(ds *dataset.Dataset, i int) bool { return !inner(ds, i) }, nil
+
+	case *CompareExpr:
+		ref, err := resolveAttr(x.Attr, schema)
+		if err != nil {
+			return nil, err
+		}
+		if x.IsString {
+			if !ref.categorical {
+				return nil, fmt.Errorf("query: attribute %q is numeric; compare it with a number", x.Attr)
+			}
+			code := -1
+			for v, label := range ref.values {
+				if label == x.Str {
+					code = v
+					break
+				}
+			}
+			if code < 0 {
+				return nil, fmt.Errorf("query: attribute %q has no value %q", x.Attr, x.Str)
+			}
+			pi := ref.protIdx
+			if x.Op == "=" {
+				return func(ds *dataset.Dataset, i int) bool { return ds.Code(pi, i) == code }, nil
+			}
+			return func(ds *dataset.Dataset, i int) bool { return ds.Code(pi, i) != code }, nil
+		}
+		if ref.categorical {
+			return nil, fmt.Errorf("query: attribute %q is categorical; compare it with a quoted string", x.Attr)
+		}
+		get, v := ref.num, x.Num
+		switch x.Op {
+		case "=":
+			return func(ds *dataset.Dataset, i int) bool { return get(ds, i) == v }, nil
+		case "!=":
+			return func(ds *dataset.Dataset, i int) bool { return get(ds, i) != v }, nil
+		case "<":
+			return func(ds *dataset.Dataset, i int) bool { return get(ds, i) < v }, nil
+		case "<=":
+			return func(ds *dataset.Dataset, i int) bool { return get(ds, i) <= v }, nil
+		case ">":
+			return func(ds *dataset.Dataset, i int) bool { return get(ds, i) > v }, nil
+		case ">=":
+			return func(ds *dataset.Dataset, i int) bool { return get(ds, i) >= v }, nil
+		default:
+			return nil, fmt.Errorf("query: unknown operator %q", x.Op)
+		}
+
+	case *InExpr:
+		ref, err := resolveAttr(x.Attr, schema)
+		if err != nil {
+			return nil, err
+		}
+		if x.Numeric {
+			if ref.categorical {
+				return nil, fmt.Errorf("query: attribute %q is categorical; IN list must hold strings", x.Attr)
+			}
+			set := map[float64]bool{}
+			for _, n := range x.Nums {
+				if math.IsNaN(n) {
+					return nil, fmt.Errorf("query: NaN in IN list")
+				}
+				set[n] = true
+			}
+			get := ref.num
+			return func(ds *dataset.Dataset, i int) bool { return set[get(ds, i)] }, nil
+		}
+		if !ref.categorical {
+			return nil, fmt.Errorf("query: attribute %q is numeric; IN list must hold numbers", x.Attr)
+		}
+		codes := map[int]bool{}
+		for _, s := range x.Strs {
+			found := false
+			for v, label := range ref.values {
+				if label == s {
+					codes[v] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("query: attribute %q has no value %q", x.Attr, s)
+			}
+		}
+		pi := ref.protIdx
+		return func(ds *dataset.Dataset, i int) bool { return codes[ds.Code(pi, i)] }, nil
+
+	default:
+		return nil, fmt.Errorf("query: unknown expression type %T", e)
+	}
+}

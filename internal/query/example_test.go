@@ -1,0 +1,25 @@
+package query_test
+
+import (
+	"fmt"
+
+	"fairrank/internal/query"
+	"fairrank/internal/simulate"
+)
+
+// A requester's query selects eligible candidates before ranking.
+func ExampleCompiled_Filter() {
+	ds, _ := simulate.PaperWorkers(1000, 42)
+	q := query.MustCompile(
+		"Gender = 'Female' AND YearsExperience >= 10 AND Country IN ('America', 'India')",
+		ds.Schema())
+	matched := q.Filter(ds)
+	fmt.Println(len(matched) > 0 && len(matched) < 1000)
+	// Output: true
+}
+
+func ExampleParse() {
+	e, _ := query.Parse("a = 1 OR b = 2 AND NOT c = 3")
+	fmt.Println(e)
+	// Output: (a = 1 OR (b = 2 AND (NOT c = 3)))
+}

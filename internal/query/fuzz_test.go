@@ -1,0 +1,45 @@
+package query
+
+import (
+	"testing"
+
+	"fairrank/internal/simulate"
+)
+
+// FuzzParse ensures the lexer/parser never panic and that any expression
+// that parses also compiles-or-errors cleanly and round-trips through its
+// canonical string form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Gender = 'Male'",
+		"Gender = 'Female' AND YearsExperience >= 5",
+		"Country IN ('America', 'India') OR NOT (LanguageTest < 60)",
+		"x IN (1, 2, 3)",
+		"NOT NOT a != 'b'",
+		"a = -1.5",
+		"(((a = 1)))",
+		"a = 1 AND b = 2 OR c = 3",
+		"", "(", "'", "= =", "IN IN", "a <",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := simulate.PaperSchema()
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Canonical form must re-parse to the same canonical form.
+		canon := e.String()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if e2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, e2.String())
+		}
+		// Compile must never panic; errors are fine.
+		_, _ = Compile(e, schema)
+	})
+}

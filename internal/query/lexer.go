@@ -1,0 +1,171 @@
+// Package query implements the requester-side query language of the
+// marketplace: a small boolean expression language over worker attributes,
+// used to select the eligible candidates before ranking ("a person who
+// needs to hire someone for a job can formulate a query and is shown a
+// ranked list of people").
+//
+// Grammar (case-insensitive keywords):
+//
+//	expr       = or
+//	or         = and { "OR" and }
+//	and        = unary { "AND" unary }
+//	unary      = "NOT" unary | "(" expr ")" | comparison
+//	comparison = ident op value | ident "IN" "(" value {"," value} ")"
+//	op         = "=" | "!=" | "<" | "<=" | ">" | ">="
+//	value      = 'string' | number
+//
+// Examples:
+//
+//	Gender = 'Female' AND YearsExperience >= 5
+//	Country IN ('America', 'India') OR NOT (LanguageTest < 60)
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokOp     // = != < <= > >=
+	tokAnd    // AND
+	tokOr     // OR
+	tokNot    // NOT
+	tokIn     // IN
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokOp:
+		return "operator"
+	case tokAnd:
+		return "AND"
+	case tokOr:
+		return "OR"
+	case tokNot:
+		return "NOT"
+	case tokIn:
+		return "IN"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes the input, returning an error with position on malformed
+// input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("query: unterminated string at position %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '=', c == '<', c == '>', c == '!':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("query: stray '!' at position %d (did you mean !=?)", i)
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c >= '0' && c <= '9' || c == '-' || c == '.':
+			j := i
+			if input[j] == '-' {
+				j++
+			}
+			digits := false
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				digits = true
+				j++
+			}
+			if !digits {
+				return nil, fmt.Errorf("query: malformed number at position %d", i)
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word, i})
+			case "OR":
+				toks = append(toks, token{tokOr, word, i})
+			case "NOT":
+				toks = append(toks, token{tokNot, word, i})
+			case "IN":
+				toks = append(toks, token{tokIn, word, i})
+			default:
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

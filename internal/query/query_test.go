@@ -1,0 +1,253 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/simulate"
+)
+
+func schema() *dataset.Schema { return simulate.PaperSchema() }
+
+func pop(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := simulate.PaperWorkers(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("Gender = 'Male' AND YearsExperience >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokOp, tokString, tokAnd, tokIdent, tokOp, tokNumber, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("%d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"Gender = 'unterminated", "a @ b", "x = !", "x = -"}
+	for _, c := range cases {
+		if _, err := lex(c); err == nil {
+			t.Errorf("lex(%q) accepted", c)
+		}
+	}
+}
+
+func TestLexNegativeNumber(t *testing.T) {
+	toks, err := lex("x < -1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].kind != tokNumber || toks[2].text != "-1.5" {
+		t.Fatalf("token = %+v", toks[2])
+	}
+}
+
+func TestParseCanonicalForms(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Gender = 'Male'", "Gender = 'Male'"},
+		{"a >= 5 AND b < 3", "(a >= 5 AND b < 3)"},
+		{"a = 1 OR b = 2 AND c = 3", "(a = 1 OR (b = 2 AND c = 3))"}, // AND binds tighter
+		{"(a = 1 OR b = 2) AND c = 3", "((a = 1 OR b = 2) AND c = 3)"},
+		{"NOT a = 1", "(NOT a = 1)"},
+		{"not not a = 1", "(NOT (NOT a = 1))"},
+		{"Country IN ('America', 'India')", "Country IN ('America', 'India')"},
+		{"x IN (1, 2, 3)", "x IN (1, 2, 3)"},
+		{"a != 'b'", "a != 'b'"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if e.String() != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, e, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"Gender =",
+		"= 'Male'",
+		"Gender < 'Male'", // relational op on string
+		"Gender 'Male'",
+		"(a = 1",
+		"a = 1)",
+		"a IN ()",
+		"a IN (1, 'x')", // mixed list
+		"a IN ('x', 1)",
+		"a = 1 AND",
+		"a = 1 b = 2",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) accepted", c)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s := schema()
+	cases := []string{
+		"Charisma = 5",                  // unknown attribute
+		"Gender = 5",                    // categorical vs number
+		"Gender != 5",                   //
+		"YearsExperience = 'five'",      // numeric vs string
+		"Gender = 'Robot'",              // unknown categorical value
+		"Gender IN (1, 2)",              // numeric IN over categorical
+		"YearsExperience IN ('a', 'b')", // string IN over numeric
+		"Country IN ('America', 'Atlantis')",
+	}
+	for _, c := range cases {
+		e, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		if _, err := Compile(e, s); err == nil {
+			t.Errorf("Compile(%q) accepted", c)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile of invalid query did not panic")
+		}
+	}()
+	MustCompile("nope nope", schema())
+}
+
+func TestFilterSemantics(t *testing.T) {
+	ds := pop(t)
+	s := ds.Schema()
+	gender := s.ProtectedIndex("Gender")
+	country := s.ProtectedIndex("Country")
+	exp := s.ProtectedIndex("YearsExperience")
+
+	q := MustCompile("Gender = 'Female' AND YearsExperience >= 5", s)
+	idx := q.Filter(ds)
+	if len(idx) == 0 {
+		t.Fatal("no matches")
+	}
+	for _, i := range idx {
+		if s.Protected[gender].Values[ds.Code(gender, i)] != "Female" {
+			t.Fatalf("worker %d is not female", i)
+		}
+		if ds.RawProtected(exp, i) < 5 {
+			t.Fatalf("worker %d has experience %v", i, ds.RawProtected(exp, i))
+		}
+	}
+	// Complement check: matched + negated-match = all.
+	neg := MustCompile("NOT (Gender = 'Female' AND YearsExperience >= 5)", s)
+	if len(idx)+len(neg.Filter(ds)) != ds.N() {
+		t.Fatal("query and its negation do not partition the population")
+	}
+
+	in := MustCompile("Country IN ('America', 'India')", s)
+	for _, i := range in.Filter(ds) {
+		c := s.Protected[country].Values[ds.Code(country, i)]
+		if c != "America" && c != "India" {
+			t.Fatalf("worker %d country %s", i, c)
+		}
+	}
+
+	// OR distributes as expected.
+	a := MustCompile("Country = 'America'", s).Filter(ds)
+	b := MustCompile("Country = 'India'", s).Filter(ds)
+	both := MustCompile("Country = 'America' OR Country = 'India'", s).Filter(ds)
+	if len(both) != len(a)+len(b) {
+		t.Fatalf("OR count %d != %d + %d", len(both), len(a), len(b))
+	}
+}
+
+func TestObservedAttributeFilter(t *testing.T) {
+	ds := pop(t)
+	s := ds.Schema()
+	q := MustCompile("LanguageTest >= 80", s)
+	idx := q.Filter(ds)
+	obs := s.ObservedIndex("LanguageTest")
+	for _, i := range idx {
+		if ds.Observed(obs, i) < 80 {
+			t.Fatalf("worker %d LanguageTest %v", i, ds.Observed(obs, i))
+		}
+	}
+	if len(idx) == 0 || len(idx) == ds.N() {
+		t.Fatalf("degenerate filter: %d of %d", len(idx), ds.N())
+	}
+}
+
+func TestNumericOperators(t *testing.T) {
+	ds := pop(t)
+	s := ds.Schema()
+	lt := MustCompile("YearOfBirth < 1980", s).Filter(ds)
+	ge := MustCompile("YearOfBirth >= 1980", s).Filter(ds)
+	if len(lt)+len(ge) != ds.N() {
+		t.Fatal("< and >= do not partition")
+	}
+	le := MustCompile("YearOfBirth <= 1980", s).Filter(ds)
+	gt := MustCompile("YearOfBirth > 1980", s).Filter(ds)
+	if len(le)+len(gt) != ds.N() {
+		t.Fatal("<= and > do not partition")
+	}
+	eq := MustCompile("YearsExperience = 10", s).Filter(ds)
+	ne := MustCompile("YearsExperience != 10", s).Filter(ds)
+	if len(eq)+len(ne) != ds.N() {
+		t.Fatal("= and != do not partition")
+	}
+}
+
+func TestSelectSubset(t *testing.T) {
+	ds := pop(t)
+	s := ds.Schema()
+	q := MustCompile("Gender = 'Male'", s)
+	sub, err := q.Select(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gender := s.ProtectedIndex("Gender")
+	for i := 0; i < sub.N(); i++ {
+		if sub.Code(gender, i) != 0 {
+			t.Fatal("subset contains a non-male worker")
+		}
+	}
+	if sub.N() == 0 || sub.N() == ds.N() {
+		t.Fatalf("degenerate subset %d", sub.N())
+	}
+	// Impossible query errors out.
+	impossible := MustCompile("LanguageTest > 100", s)
+	if _, err := impossible.Select(ds); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestMatchSingle(t *testing.T) {
+	ds := pop(t)
+	q := MustCompile("ApprovalRate >= 25", ds.Schema())
+	if !q.Match(ds, 0) {
+		t.Fatal("trivially true query did not match")
+	}
+}
+
+func TestCanonicalStringStable(t *testing.T) {
+	s := schema()
+	q := MustCompile("Gender = 'Male' AND (Country = 'India' OR YearsExperience > 3)", s)
+	if !strings.Contains(q.String(), "AND") {
+		t.Fatalf("String = %q", q.String())
+	}
+}

@@ -1,0 +1,28 @@
+package repair_test
+
+import (
+	"fmt"
+
+	"fairrank/internal/partition"
+	"fairrank/internal/repair"
+)
+
+// Full repair equalizes two groups' score distributions while preserving
+// the within-group ordering.
+func ExampleScores() {
+	// Group A scores high, group B scores low.
+	scores := []float64{0.9, 0.8, 0.95, 0.1, 0.2, 0.05}
+	pt := &partition.Partitioning{Parts: []*partition.Partition{
+		{Indices: []int{0, 1, 2}},
+		{Indices: []int{3, 4, 5}},
+	}}
+	before, _ := repair.Unfairness(scores, pt, 10)
+	repaired, _ := repair.Scores(scores, pt, 1)
+	after, _ := repair.Unfairness(repaired, pt, 10)
+	fmt.Printf("before %.2f after %.2f\n", before, after)
+	// Within group A, worker 2 (0.95) still outranks worker 0 (0.9).
+	fmt.Println(repaired[2] > repaired[0])
+	// Output:
+	// before 0.77 after 0.00
+	// true
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fairrank/internal/simulate"
+)
+
+// Markdown renders an experiment result as a GitHub-flavored Markdown
+// table, suitable for inclusion in EXPERIMENTS.md-style documents.
+func Markdown(w io.Writer, res *simulate.Result) error {
+	if res == nil || len(res.Rows) == 0 {
+		return fmt.Errorf("report: empty experiment result")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %d workers, seed %d\n\n", res.Spec.Name, res.Spec.Workers, res.Spec.Seed)
+	b.WriteString("| algorithm |")
+	for _, c := range res.Rows[0].Cells {
+		fmt.Fprintf(&b, " %s |", c.Function)
+	}
+	b.WriteString(" time |\n|---|")
+	for range res.Rows[0].Cells {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "| %s |", row.Algorithm)
+		var total float64
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " %.3f |", c.AvgDistance)
+			total += c.Elapsed.Seconds()
+		}
+		fmt.Fprintf(&b, " %.2fs |\n", total)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// AggregateTable renders a multi-seed experiment as mean ± stddev per
+// cell, in the paper's row/column layout.
+func AggregateTable(w io.Writer, res *simulate.AggregateResult) error {
+	if res == nil || len(res.Rows) == 0 {
+		return fmt.Errorf("report: empty aggregate result")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d workers, %d seeds\n", res.Spec.Name, res.Spec.Workers, len(res.Seeds))
+	fmt.Fprintf(&b, "%-15s", "Algorithm")
+	for _, c := range res.Rows[0].Cells {
+		fmt.Fprintf(&b, "  %-15s", c.Function+" EMD")
+	}
+	b.WriteString("  mean time\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "%-15s", row.Algorithm)
+		var total time.Duration
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, "  %.3f ± %.3f  ", c.Mean, c.StdDev)
+			total += c.MeanElapsed
+		}
+		fmt.Fprintf(&b, "  %s\n", formatDuration(total))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonResult is the machine-readable wire form of an experiment.
+type jsonResult struct {
+	Experiment string     `json:"experiment"`
+	Workers    int        `json:"workers"`
+	Seed       uint64     `json:"seed"`
+	Rows       []jsonRow  `json:"rows"`
+	Functions  []string   `json:"functions"`
+	Matrix     []jsonCell `json:"cells"`
+}
+
+type jsonRow struct {
+	Algorithm string `json:"algorithm"`
+}
+
+type jsonCell struct {
+	Algorithm      string   `json:"algorithm"`
+	Function       string   `json:"function"`
+	AvgDistance    float64  `json:"avg_distance"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+	Partitions     int      `json:"partitions"`
+	AttributesUsed []string `json:"attributes_used"`
+}
+
+// JSON writes the experiment result as a single JSON document.
+func JSON(w io.Writer, res *simulate.Result) error {
+	if res == nil || len(res.Rows) == 0 {
+		return fmt.Errorf("report: empty experiment result")
+	}
+	out := jsonResult{
+		Experiment: res.Spec.Name,
+		Workers:    res.Spec.Workers,
+		Seed:       res.Spec.Seed,
+	}
+	for _, c := range res.Rows[0].Cells {
+		out.Functions = append(out.Functions, c.Function)
+	}
+	for _, row := range res.Rows {
+		out.Rows = append(out.Rows, jsonRow{Algorithm: string(row.Algorithm)})
+		for _, c := range row.Cells {
+			out.Matrix = append(out.Matrix, jsonCell{
+				Algorithm:      string(row.Algorithm),
+				Function:       c.Function,
+				AvgDistance:    c.AvgDistance,
+				ElapsedSeconds: c.Elapsed.Seconds(),
+				Partitions:     c.Partitions,
+				AttributesUsed: c.AttributesUsed,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fairrank/internal/simulate"
+)
+
+func TestMarkdownRendering(t *testing.T) {
+	res := miniResult(t)
+	var b strings.Builder
+	if err := Markdown(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### mini — 80 workers", "| algorithm |", "| balanced |", "| all-attributes |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Valid markdown table: header separator row present.
+	if !strings.Contains(out, "|---|") {
+		t.Error("separator row missing")
+	}
+}
+
+func TestMarkdownEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Markdown(&b, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := miniResult(t)
+	var b strings.Builder
+	if err := JSON(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["experiment"] != "mini" {
+		t.Errorf("experiment = %v", decoded["experiment"])
+	}
+	cells, ok := decoded["cells"].([]any)
+	if !ok || len(cells) != 4 { // 2 algorithms × 2 functions
+		t.Fatalf("cells = %v", decoded["cells"])
+	}
+	first := cells[0].(map[string]any)
+	for _, key := range []string{"algorithm", "function", "avg_distance", "elapsed_seconds", "partitions"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("cell missing key %q", key)
+		}
+	}
+}
+
+func TestAggregateTable(t *testing.T) {
+	funcs, err := simulate.RandomFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.RunSeeds(simulate.Spec{
+		Name: "agg", Workers: 60, Funcs: funcs[:1],
+		Algorithms: []simulate.AlgorithmID{simulate.AlgoBalanced},
+	}, []uint64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := AggregateTable(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"2 seeds", "±", "balanced", "f1 EMD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate table missing %q:\n%s", want, out)
+		}
+	}
+	if err := AggregateTable(&b, nil); err == nil {
+		t.Error("nil aggregate accepted")
+	}
+}
+
+func TestJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := JSON(&b, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package report renders experiment results in the shapes the paper uses:
+// the algorithm × function tables of average pairwise EMD and runtime
+// (Tables 1–3), and Figure-1 style partitioning views with per-partition
+// ASCII score histograms.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"fairrank/internal/simulate"
+)
+
+// Table renders an experiment result as a fixed-width text table in the
+// paper's layout: one row per algorithm, one "Avg EMD" column block and one
+// "time" column block per scoring function.
+func Table(w io.Writer, res *simulate.Result) error {
+	if res == nil || len(res.Rows) == 0 {
+		return fmt.Errorf("report: empty experiment result")
+	}
+	funcs := make([]string, 0, len(res.Rows[0].Cells))
+	for _, c := range res.Rows[0].Cells {
+		funcs = append(funcs, c.Function)
+	}
+
+	header := []string{"Algorithm"}
+	for _, f := range funcs {
+		header = append(header, f+" EMD")
+	}
+	for _, f := range funcs {
+		header = append(header, f+" time")
+	}
+
+	rows := [][]string{header}
+	for _, row := range res.Rows {
+		line := []string{string(row.Algorithm)}
+		for _, c := range row.Cells {
+			line = append(line, fmt.Sprintf("%.3f", c.AvgDistance))
+		}
+		for _, c := range row.Cells {
+			line = append(line, formatDuration(c.Elapsed))
+		}
+		rows = append(rows, line)
+	}
+
+	widths := make([]int, len(header))
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d workers, seed %d\n", res.Spec.Name, res.Spec.Workers, res.Spec.Seed)
+	for ri, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// CSV writes the experiment result as machine-readable CSV with one row per
+// (algorithm, function) cell.
+func CSV(w io.Writer, res *simulate.Result) error {
+	if res == nil || len(res.Rows) == 0 {
+		return fmt.Errorf("report: empty experiment result")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"experiment", "workers", "seed", "algorithm", "function",
+		"avg_distance", "elapsed_seconds", "partitions", "attributes_used",
+	}); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		for _, c := range row.Cells {
+			rec := []string{
+				res.Spec.Name,
+				strconv.Itoa(res.Spec.Workers),
+				strconv.FormatUint(res.Spec.Seed, 10),
+				string(row.Algorithm),
+				c.Function,
+				strconv.FormatFloat(c.AvgDistance, 'f', 6, 64),
+				strconv.FormatFloat(c.Elapsed.Seconds(), 'f', 6, 64),
+				strconv.Itoa(c.Partitions),
+				strings.Join(c.AttributesUsed, "+"),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,122 @@
+// Package rerank implements fairness-aware re-ranking: given a ranked
+// result page and a protected attribute, it re-orders candidates so that
+// the position-bias exposure each group receives approaches its share of
+// the candidate pool (demographic parity of exposure, after Singh &
+// Joachims' fairness-of-exposure, which the paper cites), while bounding
+// how much score may be sacrificed at any single position.
+//
+// Together with package repair this covers the paper's future work on
+// "repairing bias in the context of ranking": repair fixes the scores,
+// rerank fixes the result page.
+package rerank
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/marketplace"
+)
+
+// Options configures the re-ranker.
+type Options struct {
+	// Epsilon is the maximum score a single position may sacrifice to
+	// improve exposure balance: at each rank the fairest eligible
+	// candidate is chosen only if their score is within Epsilon of the
+	// best remaining candidate's. 0 reproduces the score-optimal order;
+	// 1 ignores scores entirely.
+	Epsilon float64
+}
+
+// ExposureParity re-ranks the given candidates. ranked must be the
+// candidates to place (e.g. a top-k page, or the full population); Worker
+// indices refer to rows of ds; attr is the protected attribute (by index
+// into ds.Schema().Protected) whose groups should receive proportional
+// exposure. The result has the same candidate set with fresh ranks.
+func ExposureParity(ds *dataset.Dataset, attr int, ranked []marketplace.RankedWorker, opts Options) ([]marketplace.RankedWorker, error) {
+	if len(ranked) == 0 {
+		return nil, errors.New("rerank: empty ranking")
+	}
+	if attr < 0 || attr >= len(ds.Schema().Protected) {
+		return nil, fmt.Errorf("rerank: protected attribute %d out of range", attr)
+	}
+	if opts.Epsilon < 0 {
+		return nil, errors.New("rerank: negative epsilon")
+	}
+
+	// Candidates per group, each sorted by descending score (stable by
+	// worker index) so the head of each list is its best candidate.
+	type candidate struct {
+		worker int
+		score  float64
+	}
+	groups := map[int][]candidate{}
+	share := map[int]float64{}
+	for _, rw := range ranked {
+		if rw.Worker < 0 || rw.Worker >= ds.N() {
+			return nil, fmt.Errorf("rerank: worker %d out of range", rw.Worker)
+		}
+		g := ds.Code(attr, rw.Worker)
+		groups[g] = append(groups[g], candidate{rw.Worker, rw.Score})
+		share[g]++
+	}
+	for g := range groups {
+		gs := groups[g]
+		sort.SliceStable(gs, func(a, b int) bool {
+			if gs[a].score != gs[b].score {
+				return gs[a].score > gs[b].score
+			}
+			return gs[a].worker < gs[b].worker
+		})
+		share[g] /= float64(len(ranked))
+	}
+
+	exposure := map[int]float64{}
+	totalExposure := 0.0
+	out := make([]marketplace.RankedWorker, 0, len(ranked))
+	for pos := 1; len(out) < len(ranked); pos++ {
+		bias := marketplace.PositionBias(pos)
+		// Best remaining candidate overall (for the epsilon bound).
+		bestScore := -1.0
+		for _, gs := range groups {
+			if len(gs) > 0 && gs[0].score > bestScore {
+				bestScore = gs[0].score
+			}
+		}
+		// Most exposure-deprived group whose best candidate is eligible.
+		pick := -1
+		worstDeficit := 0.0
+		first := true
+		for g, gs := range groups {
+			if len(gs) == 0 {
+				continue
+			}
+			deficit := share[g]*(totalExposure+bias) - exposure[g]
+			eligible := gs[0].score >= bestScore-opts.Epsilon
+			if eligible && (first || deficit > worstDeficit ||
+				(deficit == worstDeficit && gs[0].score > groups[pick][0].score)) {
+				pick = g
+				worstDeficit = deficit
+				first = false
+			}
+		}
+		if pick < 0 {
+			// No group eligible under epsilon (only possible when the
+			// deprived groups' candidates score too low): fall back to
+			// the best-scored group.
+			for g, gs := range groups {
+				if len(gs) > 0 && gs[0].score == bestScore {
+					pick = g
+					break
+				}
+			}
+		}
+		c := groups[pick][0]
+		groups[pick] = groups[pick][1:]
+		exposure[pick] += bias
+		totalExposure += bias
+		out = append(out, marketplace.RankedWorker{Worker: c.worker, Score: c.score, Rank: pos})
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package rerank
+
+import (
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/marketplace"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+// biasedRanking ranks a population by the gender-discriminating f6 and
+// returns the dataset, gender attribute index and the top-k ranking.
+func biasedRanking(t *testing.T, n, k int, seed uint64) (ds *dataset.Dataset, attr int, ranked []marketplace.RankedWorker) {
+	t.Helper()
+	d, err := simulate.PaperWorkers(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := scoring.NewRuleFunc("f6", seed, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.8, Hi: 1.0},
+		{When: scoring.AttrIs("Gender", "Female"), Lo: 0.0, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, d.Schema().ProtectedIndex("Gender"), marketplace.RankBy(d, f6, k)
+}
+
+func TestValidation(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 100, 20, 1)
+	if _, err := ExposureParity(ds, attr, nil, Options{}); err == nil {
+		t.Error("empty ranking accepted")
+	}
+	if _, err := ExposureParity(ds, 99, ranked, Options{}); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := ExposureParity(ds, attr, ranked, Options{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	oob := []marketplace.RankedWorker{{Worker: 9999, Score: 1, Rank: 1}}
+	if _, err := ExposureParity(ds, attr, oob, Options{}); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}
+
+func TestEpsilonZeroKeepsScoreOrder(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 200, 50, 2)
+	out, err := ExposureParity(ds, attr, ranked, Options{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Worker != ranked[i].Worker {
+			t.Fatalf("epsilon=0 changed position %d", i)
+		}
+		if out[i].Rank != i+1 {
+			t.Fatalf("rank %d mislabeled", i+1)
+		}
+	}
+}
+
+func TestFullEpsilonBalancesExposure(t *testing.T) {
+	// Re-rank the full candidate pool (k=0): with f6 bias the original
+	// top-100 page is all male, so only a pool-level re-rank can fix the
+	// page's exposure.
+	ds, attr, ranked := biasedRanking(t, 400, 0, 3)
+	before, err := marketplace.GroupExposure(ds, attr, ranked[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExposureParity(ds, attr, ranked, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := marketplace.GroupExposure(ds, attr, out[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := marketplace.ExposureDisparity(before)
+	da := marketplace.ExposureDisparity(after)
+	if da >= db {
+		t.Fatalf("disparity did not improve: %v -> %v", db, da)
+	}
+	if da > 1.5 {
+		t.Fatalf("full-epsilon disparity still %v", da)
+	}
+}
+
+func TestSameCandidateSet(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 300, 80, 4)
+	out, err := ExposureParity(ds, attr, ranked, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ranked) {
+		t.Fatalf("size changed: %d -> %d", len(ranked), len(out))
+	}
+	seen := map[int]bool{}
+	for _, rw := range ranked {
+		seen[rw.Worker] = true
+	}
+	for _, rw := range out {
+		if !seen[rw.Worker] {
+			t.Fatalf("worker %d not in the original candidate set", rw.Worker)
+		}
+		delete(seen, rw.Worker)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("%d candidates dropped", len(seen))
+	}
+}
+
+func TestUtilityCostBounded(t *testing.T) {
+	// The utility (NDCG vs original scores) must stay high for moderate
+	// epsilon and degrade gracefully.
+	ds, attr, ranked := biasedRanking(t, 400, 100, 5)
+	relevance := make([]float64, ds.N())
+	for _, rw := range ranked {
+		relevance[rw.Worker] = rw.Score
+	}
+	prev := 1.0
+	for _, eps := range []float64{0, 0.3, 1} {
+		out, err := ExposureParity(ds, attr, ranked, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndcg, err := marketplace.NDCG(relevance, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ndcg > prev+1e-9 {
+			t.Fatalf("NDCG increased with epsilon %v: %v > %v", eps, ndcg, prev)
+		}
+		if eps == 0 && ndcg < 0.999 {
+			t.Fatalf("epsilon=0 NDCG = %v, want ~1", ndcg)
+		}
+		if ndcg < 0.5 {
+			t.Fatalf("NDCG collapsed to %v at epsilon %v", ndcg, eps)
+		}
+		prev = ndcg
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 200, 50, 6)
+	a, err := ExposureParity(ds, attr, ranked, Options{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExposureParity(ds, attr, ranked, Options{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Worker != b[i].Worker {
+			t.Fatalf("non-deterministic at position %d", i)
+		}
+	}
+}
+
+func TestSingleGroup(t *testing.T) {
+	// All candidates in one group: re-ranking is the identity.
+	ds, attr, _ := biasedRanking(t, 200, 0, 7)
+	male, err := scoring.NewRuleFunc("m", 7, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.5, Hi: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := marketplace.RankBy(ds, male, 0)
+	males := all[:0:0]
+	gender := attr
+	for _, rw := range all {
+		if ds.Code(gender, rw.Worker) == 0 {
+			males = append(males, rw)
+		}
+	}
+	out, err := ExposureParity(ds, attr, males, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Worker != males[i].Worker {
+			t.Fatalf("single-group rerank changed order at %d", i)
+		}
+	}
+}

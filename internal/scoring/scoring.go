@@ -1,0 +1,161 @@
+// Package scoring implements the task-qualification scoring functions of
+// the paper: linear combinations f(w) = Σ αᵢ·bᵢ of observed attributes
+// (Definition 1), plus the rule-based "unfair by design" functions of the
+// qualitative study (f6–f9), and adapters for arbitrary user functions.
+//
+// All scores are in [0,1]. Observed attribute values are normalized into
+// [0,1] by their schema range before weighting, which is what makes the
+// paper's f = α·LanguageTest + (1-α)·ApprovalRate land in [0,1] even though
+// both attributes live in [25,100].
+package scoring
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fairrank/internal/dataset"
+)
+
+// Func scores workers of a dataset. Implementations must be deterministic:
+// Score must return the same value for the same (dataset, worker) pair.
+type Func interface {
+	// Name identifies the function in reports and experiment tables.
+	Name() string
+	// Score returns worker i's task-qualification score in [0,1].
+	Score(ds *dataset.Dataset, i int) float64
+}
+
+// ScoreFunc adapts a plain function into a Func.
+type ScoreFunc struct {
+	// FuncName is returned by Name.
+	FuncName string
+	// Fn computes the score.
+	Fn func(ds *dataset.Dataset, i int) float64
+}
+
+// Name implements Func.
+func (s ScoreFunc) Name() string { return s.FuncName }
+
+// Score implements Func.
+func (s ScoreFunc) Score(ds *dataset.Dataset, i int) float64 { return s.Fn(ds, i) }
+
+// Linear is the paper's scoring function: a weighted sum of observed
+// attributes, each normalized to [0,1] by its schema range. Weights must be
+// non-negative; they are normalized to sum to 1 so the score stays in [0,1].
+// A weight of zero means the attribute is irrelevant to the user's ranking.
+type Linear struct {
+	name    string
+	weights map[string]float64 // by observed attribute name, normalized
+}
+
+// NewLinear builds a linear scoring function from attribute-name → weight.
+// At least one weight must be positive; negative or NaN weights are
+// rejected. Attribute existence is checked lazily against the dataset at
+// scoring time via Bind, or eagerly with Validate.
+func NewLinear(name string, weights map[string]float64) (*Linear, error) {
+	if len(weights) == 0 {
+		return nil, errors.New("scoring: linear function needs at least one weight")
+	}
+	total := 0.0
+	for attr, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("scoring: invalid weight %v for %q", w, attr)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("scoring: all weights are zero")
+	}
+	norm := make(map[string]float64, len(weights))
+	for attr, w := range weights {
+		norm[attr] = w / total
+	}
+	return &Linear{name: name, weights: norm}, nil
+}
+
+// Name implements Func.
+func (l *Linear) Name() string { return l.name }
+
+// Weights returns the normalized weights (summing to 1).
+func (l *Linear) Weights() map[string]float64 {
+	out := make(map[string]float64, len(l.weights))
+	for k, v := range l.weights {
+		out[k] = v
+	}
+	return out
+}
+
+// Validate checks that every weighted attribute exists in the schema as an
+// observed attribute.
+func (l *Linear) Validate(schema *dataset.Schema) error {
+	for attr := range l.weights {
+		if schema.ObservedIndex(attr) < 0 {
+			return fmt.Errorf("scoring: %q is not an observed attribute", attr)
+		}
+	}
+	return nil
+}
+
+// Score implements Func. Weighted attributes missing from the dataset's
+// schema contribute zero (Validate catches this up front when wanted).
+func (l *Linear) Score(ds *dataset.Dataset, i int) float64 {
+	s := 0.0
+	schema := ds.Schema()
+	for attr, w := range l.weights {
+		if w == 0 {
+			continue
+		}
+		a := schema.ObservedIndex(attr)
+		if a < 0 {
+			continue
+		}
+		def := schema.Observed[a]
+		v := ds.Observed(a, i)
+		s += w * normalize(v, def.Min, def.Max)
+	}
+	return clamp01(s)
+}
+
+// String renders the function as its formula, with attributes sorted for
+// stable output.
+func (l *Linear) String() string {
+	attrs := make([]string, 0, len(l.weights))
+	for a := range l.weights {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	parts := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		parts = append(parts, fmt.Sprintf("%.3g·%s", l.weights[a], a))
+	}
+	return l.name + " = " + strings.Join(parts, " + ")
+}
+
+func normalize(v, min, max float64) float64 {
+	if !(max > min) {
+		return 0
+	}
+	return clamp01((v - min) / (max - min))
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case math.IsNaN(v), v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// Scores evaluates f for every worker and returns the full score column.
+func Scores(ds *dataset.Dataset, f Func) []float64 {
+	out := make([]float64, ds.N())
+	for i := range out {
+		out[i] = f.Score(ds, i)
+	}
+	return out
+}

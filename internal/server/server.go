@@ -1,0 +1,762 @@
+// Package server exposes the fairrank platform over HTTP: dataset upload,
+// task posting, filtered ranking (the marketplace result page), and
+// fairness audits — with tasks, audit results and dataset snapshots held
+// durably in the embedded store.
+//
+// API (all JSON unless noted):
+//
+//	GET  /healthz                     liveness probe
+//	GET  /v1/datasets                 list datasets
+//	POST /v1/datasets/{name}          upload: text/csv (paper schema) or
+//	                                  application/octet-stream (binary snapshot)
+//	GET  /v1/datasets/{name}          dataset metadata
+//	POST /v1/tasks                    post a task {id,title,dataset,weights}
+//	GET  /v1/tasks                    list tasks
+//	GET  /v1/rank?task=&k=&q=         ranked (optionally query-filtered) workers
+//	POST /v1/audits                   run an audit (see auditRequest)
+//	GET  /v1/audits                   list stored audit results
+//	GET  /v1/audits/{id}              one stored audit result
+//	POST /v1/rerank                   exposure-parity re-rank a task's page
+//	POST /v1/repair                   before/after unfairness of score repair
+//	POST /v1/explain                  per-attribute importance for a function
+//	GET  /                            HTML dashboard
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fairrank/internal/core"
+	"fairrank/internal/dataset"
+	"fairrank/internal/emd"
+	"fairrank/internal/explain"
+	"fairrank/internal/marketplace"
+	"fairrank/internal/partition"
+	"fairrank/internal/repair"
+	"fairrank/internal/rerank"
+	"fairrank/internal/rng"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+	"fairrank/internal/store"
+)
+
+const (
+	bucketDatasets = "datasets"
+	bucketTasks    = "tasks"
+	bucketAudits   = "audits"
+	maxUploadBytes = 256 << 20
+)
+
+// Server is the HTTP platform server. Create with New, mount via Handler.
+type Server struct {
+	db *store.DB
+	// logf receives request log lines; nil disables request logging.
+	logf func(format string, args ...any)
+	// auditLimit bounds concurrent audit computations (default 4).
+	auditLimit int
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset.Dataset
+	auditSeq int
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithRequestLog enables request logging through logf (e.g. log.Printf).
+func WithRequestLog(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// WithAuditLimit bounds concurrent audit requests; excess requests get 503.
+func WithAuditLimit(n int) ServerOption {
+	return func(s *Server) { s.auditLimit = n }
+}
+
+// New builds a Server over an open store, reloading any persisted dataset
+// snapshots into memory.
+func New(db *store.DB, opts ...ServerOption) (*Server, error) {
+	s := &Server{db: db, datasets: map[string]*dataset.Dataset{}, auditLimit: 4}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, name := range db.Keys(bucketDatasets) {
+		raw, ok := db.Get(bucketDatasets, name)
+		if !ok {
+			continue
+		}
+		ds, err := dataset.ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("server: reload dataset %q: %w", name, err)
+		}
+		s.datasets[name] = ds
+	}
+	s.auditSeq = db.Len(bucketAudits)
+	return s, nil
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets/{name}", s.handleUploadDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("POST /v1/tasks", s.handlePostTask)
+	mux.HandleFunc("GET /v1/tasks", s.handleListTasks)
+	mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleDeleteTask)
+	mux.HandleFunc("GET /v1/rank", s.handleRank)
+	mux.Handle("POST /v1/audits", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleRunAudit)))
+	mux.HandleFunc("GET /v1/audits", s.handleListAudits)
+	mux.HandleFunc("GET /v1/audits/{id}", s.handleGetAudit)
+	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.Handle("POST /v1/explain", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleExplain)))
+	return withLogging(s.logf, withRecovery(mux))
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+type datasetInfo struct {
+	Name      string   `json:"name"`
+	Workers   int      `json:"workers"`
+	Protected []string `json:"protected"`
+	Observed  []string `json:"observed"`
+}
+
+func describe(name string, ds *dataset.Dataset) datasetInfo {
+	info := datasetInfo{Name: name, Workers: ds.N()}
+	for _, a := range ds.Schema().Protected {
+		info.Protected = append(info.Protected, a.Name)
+	}
+	for _, a := range ds.Schema().Observed {
+		info.Observed = append(info.Observed, a.Name)
+	}
+	return info
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]datasetInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, describe(n, s.datasets[n]))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("dataset name required"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxUploadBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, errors.New("upload exceeds size limit"))
+		return
+	}
+	var ds *dataset.Dataset
+	switch ct := r.Header.Get("Content-Type"); ct {
+	case "text/csv":
+		ds, err = dataset.ReadCSV(bytes.NewReader(body), simulate.PaperSchema())
+	case "application/octet-stream", "":
+		ds, err = dataset.ReadBinary(bytes.NewReader(body))
+	default:
+		writeErr(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("content type %q (want text/csv or application/octet-stream)", ct))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Persist the canonical binary form regardless of the upload format.
+	var snap bytes.Buffer
+	if err := ds.WriteBinary(&snap); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.db.Put(bucketDatasets, name, snap.Bytes()); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.datasets[name] = ds
+	writeJSON(w, http.StatusCreated, describe(name, ds))
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	ds, ok := s.datasets[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, describe(name, ds))
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", name))
+		return
+	}
+	// Refuse while tasks still reference the dataset: deleting under a
+	// live task would break its ranking endpoint.
+	for _, id := range s.db.Keys(bucketTasks) {
+		raw, ok := s.db.Get(bucketTasks, id)
+		if !ok {
+			continue
+		}
+		var t taskSpec
+		if json.Unmarshal(raw, &t) == nil && t.Dataset == name {
+			writeErr(w, http.StatusConflict,
+				fmt.Errorf("task %q still references dataset %q", t.ID, name))
+			return
+		}
+	}
+	if err := s.db.Delete(bucketDatasets, name); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	delete(s.datasets, name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDeleteTask(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.db.Get(bucketTasks, id); !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("task %q not found", id))
+		return
+	}
+	if err := s.db.Delete(bucketTasks, id); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type taskSpec struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Dataset string             `json:"dataset"`
+	Weights map[string]float64 `json:"weights"`
+}
+
+func (s *Server) handlePostTask(w http.ResponseWriter, r *http.Request) {
+	var t taskSpec
+	if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad task json: %w", err))
+		return
+	}
+	if t.ID == "" || t.Dataset == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("task id and dataset are required"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, ok := s.datasets[t.Dataset]
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", t.Dataset))
+		return
+	}
+	f, err := scoring.NewLinear(t.ID, t.Weights)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := f.Validate(ds.Schema()); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, dup := s.db.Get(bucketTasks, t.ID); dup {
+		writeErr(w, http.StatusConflict, fmt.Errorf("task %q already exists", t.ID))
+		return
+	}
+	raw, err := json.Marshal(t)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.db.Put(bucketTasks, t.ID, raw); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t)
+}
+
+func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	out := []taskSpec{}
+	for _, id := range s.db.Keys(bucketTasks) {
+		raw, ok := s.db.Get(bucketTasks, id)
+		if !ok {
+			continue
+		}
+		var t taskSpec
+		if err := json.Unmarshal(raw, &t); err != nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type rankedEntry struct {
+	Rank   int     `json:"rank"`
+	Worker string  `json:"worker"`
+	Score  float64 `json:"score"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	taskID := r.URL.Query().Get("task")
+	if taskID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("task parameter required"))
+		return
+	}
+	raw, ok := s.db.Get(bucketTasks, taskID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("task %q not found", taskID))
+		return
+	}
+	var t taskSpec
+	if err := json.Unmarshal(raw, &t); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.RLock()
+	ds, ok := s.datasets[t.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", t.Dataset))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+	}
+	m, err := marketplace.New(ds)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := m.PostTask(marketplace.Task{ID: t.ID, Title: t.Title, Weights: t.Weights}); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	var ranked []marketplace.RankedWorker
+	if q := r.URL.Query().Get("q"); q != "" {
+		ranked, err = m.RankQuery(t.ID, q, k)
+	} else {
+		ranked, err = m.Rank(t.ID, k)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]rankedEntry, len(ranked))
+	for i, rw := range ranked {
+		out[i] = rankedEntry{Rank: rw.Rank, Worker: ds.ID(rw.Worker), Score: rw.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// auditRequest describes an audit to run.
+type auditRequest struct {
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"` // balanced|unbalanced|r-balanced|r-unbalanced|all-attributes
+	// Weights defines the scoring function over observed attributes.
+	Weights map[string]float64 `json:"weights"`
+	Bins    int                `json:"bins,omitempty"`
+	Metric  string             `json:"metric,omitempty"`
+	// Attributes restricts the audit to these protected attributes.
+	Attributes []string `json:"attributes,omitempty"`
+	// SignificanceRounds > 0 adds a permutation-test p-value.
+	SignificanceRounds int    `json:"significance_rounds,omitempty"`
+	Seed               uint64 `json:"seed,omitempty"`
+}
+
+// auditResponse is the stored, returned audit result.
+type auditResponse struct {
+	ID          string           `json:"id"`
+	Dataset     string           `json:"dataset"`
+	Algorithm   string           `json:"algorithm"`
+	Unfairness  float64          `json:"unfairness"`
+	Partitions  []auditPartition `json:"partitions"`
+	ElapsedSecs float64          `json:"elapsed_seconds"`
+	PValue      *float64         `json:"p_value,omitempty"`
+}
+
+type auditPartition struct {
+	Label string `json:"label"`
+	Size  int    `json:"size"`
+}
+
+func (s *Server) handleRunAudit(w http.ResponseWriter, r *http.Request) {
+	var req auditRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad audit json: %w", err))
+		return
+	}
+	s.mu.RLock()
+	ds, ok := s.datasets[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", req.Dataset))
+		return
+	}
+	f, err := scoring.NewLinear("audit-fn", req.Weights)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := core.Config{Bins: req.Bins}
+	if req.Metric != "" {
+		m, err := emd.ParseMetric(req.Metric)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Metric = m
+	}
+	e, err := core.NewEvaluator(ds, f, cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var attrs []int
+	if req.Attributes != nil {
+		for _, name := range req.Attributes {
+			i := ds.Schema().ProtectedIndex(name)
+			if i < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("%q is not a protected attribute", name))
+				return
+			}
+			attrs = append(attrs, i)
+		}
+		if len(attrs) == 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("attributes list is empty"))
+			return
+		}
+	}
+	var res *core.Result
+	switch req.Algorithm {
+	case "balanced", "":
+		res = core.Balanced(e, attrs)
+	case "unbalanced":
+		res = core.Unbalanced(e, attrs)
+	case "r-balanced":
+		res = core.RBalanced(e, attrs, rng.New(req.Seed+1))
+	case "r-unbalanced":
+		res = core.RUnbalanced(e, attrs, rng.New(req.Seed+2))
+	case "all-attributes":
+		res = core.AllAttributes(e, attrs)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+		return
+	}
+
+	resp := auditResponse{
+		Dataset:     req.Dataset,
+		Algorithm:   res.Algorithm,
+		Unfairness:  res.Unfairness,
+		ElapsedSecs: res.Elapsed.Seconds(),
+	}
+	for _, p := range res.Partitioning.Parts {
+		resp.Partitions = append(resp.Partitions, auditPartition{
+			Label: p.Label(ds.Schema()), Size: p.Size(),
+		})
+	}
+	sort.Slice(resp.Partitions, func(i, j int) bool {
+		return resp.Partitions[i].Label < resp.Partitions[j].Label
+	})
+	if req.SignificanceRounds > 0 {
+		p, _, err := core.Significance(e, res.Partitioning, req.SignificanceRounds, req.Seed)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.PValue = &p
+	}
+
+	s.mu.Lock()
+	s.auditSeq++
+	resp.ID = fmt.Sprintf("audit-%06d", s.auditSeq)
+	s.mu.Unlock()
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.db.Put(bucketAudits, resp.ID, raw); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// rerankRequest asks for an exposure-parity re-ranking of a task's result
+// page.
+type rerankRequest struct {
+	Task      string  `json:"task"`
+	K         int     `json:"k"`
+	Attribute string  `json:"attribute"`
+	Epsilon   float64 `json:"epsilon"`
+}
+
+type rerankResponse struct {
+	Ranking         []rankedEntry `json:"ranking"`
+	DisparityBefore float64       `json:"disparity_before"`
+	DisparityAfter  float64       `json:"disparity_after"`
+}
+
+func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
+	var req rerankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad rerank json: %w", err))
+		return
+	}
+	raw, ok := s.db.Get(bucketTasks, req.Task)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("task %q not found", req.Task))
+		return
+	}
+	var t taskSpec
+	if err := json.Unmarshal(raw, &t); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.RLock()
+	ds, ok := s.datasets[t.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", t.Dataset))
+		return
+	}
+	attr := ds.Schema().ProtectedIndex(req.Attribute)
+	if attr < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%q is not a protected attribute", req.Attribute))
+		return
+	}
+	f, err := scoring.NewLinear(t.ID, t.Weights)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Re-rank the full pool, then return the requested page.
+	pool := marketplace.RankBy(ds, f, 0)
+	out, err := rerank.ExposureParity(ds, attr, pool, rerank.Options{Epsilon: req.Epsilon})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k <= 0 || k > len(out) {
+		k = len(out)
+	}
+	beforeExp, err := marketplace.GroupExposure(ds, attr, pool[:k])
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	afterExp, err := marketplace.GroupExposure(ds, attr, out[:k])
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := rerankResponse{
+		DisparityBefore: marketplace.ExposureDisparity(beforeExp),
+		DisparityAfter:  marketplace.ExposureDisparity(afterExp),
+	}
+	for _, rw := range out[:k] {
+		resp.Ranking = append(resp.Ranking, rankedEntry{
+			Rank: rw.Rank, Worker: ds.ID(rw.Worker), Score: rw.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// repairRequest asks for a before/after unfairness evaluation of
+// quantile-matching score repair over a grouping.
+type repairRequest struct {
+	Dataset string `json:"dataset"`
+	// Weights define the scoring function whose scores are repaired.
+	Weights map[string]float64 `json:"weights"`
+	// GroupBy names the protected attributes defining the repair groups;
+	// empty means "the most unfair partitioning found by balanced".
+	GroupBy []string `json:"group_by,omitempty"`
+	Amount  float64  `json:"amount"`
+	Bins    int      `json:"bins,omitempty"`
+}
+
+type repairResponse struct {
+	UnfairnessBefore float64 `json:"unfairness_before"`
+	UnfairnessAfter  float64 `json:"unfairness_after"`
+	Groups           int     `json:"groups"`
+	Amount           float64 `json:"amount"`
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req repairRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad repair json: %w", err))
+		return
+	}
+	s.mu.RLock()
+	ds, ok := s.datasets[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", req.Dataset))
+		return
+	}
+	f, err := scoring.NewLinear("repair-fn", req.Weights)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := core.NewEvaluator(ds, f, core.Config{Bins: req.Bins})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var pt *partition.Partitioning
+	if len(req.GroupBy) > 0 {
+		parts := []*partition.Partition{partition.Root(ds)}
+		for _, name := range req.GroupBy {
+			a := ds.Schema().ProtectedIndex(name)
+			if a < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("%q is not a protected attribute", name))
+				return
+			}
+			parts = partition.SplitAll(ds, parts, a)
+		}
+		pt = &partition.Partitioning{Parts: parts}
+	} else {
+		pt = core.Balanced(e, nil).Partitioning
+	}
+	bins := e.Config().Bins
+	before, err := repair.Unfairness(e.Scores(), pt, bins)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	repaired, err := repair.Scores(e.Scores(), pt, req.Amount)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	after, err := repair.Unfairness(repaired, pt, bins)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, repairResponse{
+		UnfairnessBefore: before,
+		UnfairnessAfter:  after,
+		Groups:           pt.Size(),
+		Amount:           req.Amount,
+	})
+}
+
+// explainRequest asks which protected attributes drive a function's
+// unfairness.
+type explainRequest struct {
+	Dataset string             `json:"dataset"`
+	Weights map[string]float64 `json:"weights"`
+	Bins    int                `json:"bins,omitempty"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad explain json: %w", err))
+		return
+	}
+	s.mu.RLock()
+	ds, ok := s.datasets[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", req.Dataset))
+		return
+	}
+	f, err := scoring.NewLinear("explain-fn", req.Weights)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := core.NewEvaluator(ds, f, core.Config{Bins: req.Bins})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explain.Attributes(e))
+}
+
+func (s *Server) handleListAudits(w http.ResponseWriter, r *http.Request) {
+	out := []auditResponse{}
+	for _, id := range s.db.Keys(bucketAudits) {
+		raw, ok := s.db.Get(bucketAudits, id)
+		if !ok {
+			continue
+		}
+		var a auditResponse
+		if err := json.Unmarshal(raw, &a); err != nil {
+			continue
+		}
+		out = append(out, a)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetAudit(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	raw, ok := s.db.Get(bucketAudits, id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("audit %q not found", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}

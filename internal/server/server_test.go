@@ -1,0 +1,558 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairrank/internal/simulate"
+	"fairrank/internal/store"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "srv.db")
+	db, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, path
+}
+
+func uploadDataset(t *testing.T, ts *httptest.Server, name string, n int) {
+	t.Helper()
+	ds, err := simulate.PaperWorkers(n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+name, "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDashboard(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 60)
+	postJSON(t, ts.URL+"/v1/tasks", map[string]any{
+		"id": "gig", "title": "a <script> test", "dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 1},
+	})
+	postJSON(t, ts.URL+"/v1/audits", map[string]any{
+		"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1},
+	})
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("dashboard = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	html := body.String()
+	for _, want := range []string{"fairrank", "workers", "gig", "audit-000001"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	// Task title must be HTML-escaped.
+	if strings.Contains(html, "<script>") {
+		t.Error("dashboard did not escape task title")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var out map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &out); code != 200 || out["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, out)
+	}
+}
+
+func TestDatasetLifecycle(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 120)
+
+	var list []map[string]any
+	if code := getJSON(t, ts.URL+"/v1/datasets", &list); code != 200 || len(list) != 1 {
+		t.Fatalf("list = %d %v", code, list)
+	}
+	var info map[string]any
+	if code := getJSON(t, ts.URL+"/v1/datasets/workers", &info); code != 200 {
+		t.Fatalf("get = %d", code)
+	}
+	if info["workers"].(float64) != 120 {
+		t.Fatalf("info = %v", info)
+	}
+	if code := getJSON(t, ts.URL+"/v1/datasets/missing", nil); code != 404 {
+		t.Fatalf("missing dataset = %d", code)
+	}
+}
+
+func TestDatasetUploadCSV(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	ds, _ := simulate.PaperWorkers(30, 1)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets/csvset", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("csv upload = %d", resp.StatusCode)
+	}
+}
+
+func TestDatasetUploadErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/datasets/x", "application/octet-stream",
+		strings.NewReader("not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/datasets/x", "application/xml", strings.NewReader("<x/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("bad content type = %d", resp.StatusCode)
+	}
+}
+
+func TestTaskLifecycleAndRank(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 200)
+
+	task := map[string]any{
+		"id": "gig1", "title": "web gig", "dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 0.7, "ApprovalRate": 0.3},
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/tasks", task)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post task = %d", resp.StatusCode)
+	}
+	// Duplicate rejected.
+	resp, _ = postJSON(t, ts.URL+"/v1/tasks", task)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate task = %d", resp.StatusCode)
+	}
+	var tasks []map[string]any
+	if code := getJSON(t, ts.URL+"/v1/tasks", &tasks); code != 200 || len(tasks) != 1 {
+		t.Fatalf("list tasks = %d %v", code, tasks)
+	}
+
+	var ranked []map[string]any
+	if code := getJSON(t, ts.URL+"/v1/rank?task=gig1&k=5", &ranked); code != 200 {
+		t.Fatalf("rank = %d", code)
+	}
+	if len(ranked) != 5 {
+		t.Fatalf("%d ranked entries", len(ranked))
+	}
+	prev := 2.0
+	for _, e := range ranked {
+		s := e["score"].(float64)
+		if s > prev {
+			t.Fatal("ranking not descending")
+		}
+		prev = s
+	}
+
+	// Filtered ranking.
+	var filtered []map[string]any
+	url := ts.URL + "/v1/rank?task=gig1&k=5&q=" + urlQueryEscape("Gender = 'Female'")
+	if code := getJSON(t, url, &filtered); code != 200 {
+		t.Fatalf("filtered rank = %d", code)
+	}
+	if len(filtered) == 0 {
+		t.Fatal("no filtered results")
+	}
+}
+
+func urlQueryEscape(s string) string {
+	r := strings.NewReplacer(" ", "%20", "'", "%27", "=", "%3D")
+	return r.Replace(s)
+}
+
+func TestTaskErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 50)
+	cases := []map[string]any{
+		{"id": "", "dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}},
+		{"id": "t", "dataset": "missing", "weights": map[string]float64{"LanguageTest": 1}},
+		{"id": "t", "dataset": "workers", "weights": map[string]float64{}},
+		{"id": "t", "dataset": "workers", "weights": map[string]float64{"Charisma": 1}},
+	}
+	for i, c := range cases {
+		resp, _ := postJSON(t, ts.URL+"/v1/tasks", c)
+		if resp.StatusCode < 400 {
+			t.Errorf("case %d accepted with %d", i, resp.StatusCode)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/tasks", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", resp.StatusCode)
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 50)
+	postJSON(t, ts.URL+"/v1/tasks", map[string]any{
+		"id": "t1", "dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 1},
+	})
+	if code := getJSON(t, ts.URL+"/v1/rank", nil); code != 400 {
+		t.Errorf("missing task param = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rank?task=missing", nil); code != 404 {
+		t.Errorf("missing task = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rank?task=t1&k=-2", nil); code != 400 {
+		t.Errorf("bad k = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/rank?task=t1&q=%5B%5D", nil); code != 400 {
+		t.Errorf("bad query = %d", code)
+	}
+}
+
+func TestAuditEndToEnd(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 200)
+
+	req := map[string]any{
+		"dataset":   "workers",
+		"algorithm": "balanced",
+		"weights":   map[string]float64{"LanguageTest": 1},
+		"bins":      10,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/audits", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("audit = %d: %s", resp.StatusCode, body)
+	}
+	var audit map[string]any
+	if err := json.Unmarshal(body, &audit); err != nil {
+		t.Fatal(err)
+	}
+	id := audit["id"].(string)
+	if audit["unfairness"].(float64) <= 0 {
+		t.Fatal("zero unfairness on random data (suspicious)")
+	}
+	if len(audit["partitions"].([]any)) < 2 {
+		t.Fatal("too few partitions")
+	}
+
+	// Stored and retrievable.
+	var fetched map[string]any
+	if code := getJSON(t, ts.URL+"/v1/audits/"+id, &fetched); code != 200 {
+		t.Fatalf("get audit = %d", code)
+	}
+	if fetched["unfairness"] != audit["unfairness"] {
+		t.Fatal("stored audit differs")
+	}
+	var all []map[string]any
+	if code := getJSON(t, ts.URL+"/v1/audits", &all); code != 200 || len(all) != 1 {
+		t.Fatalf("list audits = %d, %d items", code, len(all))
+	}
+	if code := getJSON(t, ts.URL+"/v1/audits/audit-999999", nil); code != 404 {
+		t.Fatalf("missing audit = %d", code)
+	}
+}
+
+func TestAuditWithSignificanceAndAttrs(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 150)
+	req := map[string]any{
+		"dataset":             "workers",
+		"algorithm":           "all-attributes",
+		"weights":             map[string]float64{"ApprovalRate": 1},
+		"attributes":          []string{"Gender", "Country"},
+		"significance_rounds": 50,
+		"seed":                7,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/audits", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("audit = %d: %s", resp.StatusCode, body)
+	}
+	var audit map[string]any
+	if err := json.Unmarshal(body, &audit); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := audit["p_value"]; !ok {
+		t.Fatal("p_value missing")
+	}
+	// Only Gender×Country cells (≤ 6 partitions).
+	if n := len(audit["partitions"].([]any)); n > 6 {
+		t.Fatalf("%d partitions from a 2x3 attribute subset", n)
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 50)
+	cases := []map[string]any{
+		{"dataset": "missing", "weights": map[string]float64{"LanguageTest": 1}},
+		{"dataset": "workers", "weights": map[string]float64{}},
+		{"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}, "algorithm": "quantum"},
+		{"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}, "metric": "nope"},
+		{"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}, "attributes": []string{"Nope"}},
+		{"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}, "attributes": []string{}},
+	}
+	for i, c := range cases {
+		resp, _ := postJSON(t, ts.URL+"/v1/audits", c)
+		if resp.StatusCode < 400 {
+			t.Errorf("case %d accepted with %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestRerankEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 300)
+	postJSON(t, ts.URL+"/v1/tasks", map[string]any{
+		"id": "t1", "dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 1},
+	})
+	req := map[string]any{"task": "t1", "k": 20, "attribute": "Gender", "epsilon": 1.0}
+	resp, body := postJSON(t, ts.URL+"/v1/rerank", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rerank = %d: %s", resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["ranking"].([]any)) != 20 {
+		t.Fatalf("ranking size = %d", len(out["ranking"].([]any)))
+	}
+	if out["disparity_after"].(float64) > out["disparity_before"].(float64) {
+		t.Fatalf("disparity worsened: %v -> %v", out["disparity_before"], out["disparity_after"])
+	}
+	// Errors.
+	for i, bad := range []map[string]any{
+		{"task": "missing", "attribute": "Gender"},
+		{"task": "t1", "attribute": "Charisma"},
+		{"task": "t1", "attribute": "Gender", "epsilon": -1},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/rerank", bad)
+		if resp.StatusCode < 400 {
+			t.Errorf("bad rerank %d accepted with %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestRepairEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 300)
+	req := map[string]any{
+		"dataset":  "workers",
+		"weights":  map[string]float64{"LanguageTest": 1},
+		"group_by": []string{"Gender"},
+		"amount":   1.0,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/repair", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair = %d: %s", resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["unfairness_after"].(float64) > out["unfairness_before"].(float64) {
+		t.Fatalf("repair worsened unfairness: %v -> %v",
+			out["unfairness_before"], out["unfairness_after"])
+	}
+	if out["groups"].(float64) != 2 {
+		t.Fatalf("groups = %v, want 2 (Gender)", out["groups"])
+	}
+	// Default grouping via balanced.
+	req2 := map[string]any{
+		"dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 1},
+		"amount":  0.5,
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/repair", req2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair default grouping = %d: %s", resp.StatusCode, body)
+	}
+	// Errors.
+	for i, bad := range []map[string]any{
+		{"dataset": "missing", "weights": map[string]float64{"LanguageTest": 1}, "amount": 1},
+		{"dataset": "workers", "weights": map[string]float64{}, "amount": 1},
+		{"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}, "amount": 2},
+		{"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1}, "group_by": []string{"Nope"}, "amount": 1},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/repair", bad)
+		if resp.StatusCode < 400 {
+			t.Errorf("bad repair %d accepted with %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	_, ts, path := newTestServer(t)
+	uploadDataset(t, ts, "workers", 80)
+	postJSON(t, ts.URL+"/v1/tasks", map[string]any{
+		"id": "t1", "dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 1},
+	})
+	postJSON(t, ts.URL+"/v1/audits", map[string]any{
+		"dataset": "workers", "weights": map[string]float64{"LanguageTest": 1},
+	})
+	ts.Close()
+
+	// Restart over the same store file.
+	db, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s2, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	var list []map[string]any
+	if code := getJSON(t, ts2.URL+"/v1/datasets", &list); code != 200 || len(list) != 1 {
+		t.Fatalf("datasets after restart = %d %v", code, list)
+	}
+	var tasks []map[string]any
+	if code := getJSON(t, ts2.URL+"/v1/tasks", &tasks); code != 200 || len(tasks) != 1 {
+		t.Fatalf("tasks after restart = %v", tasks)
+	}
+	var audits []map[string]any
+	if code := getJSON(t, ts2.URL+"/v1/audits", &audits); code != 200 || len(audits) != 1 {
+		t.Fatalf("audits after restart = %v", audits)
+	}
+	// New audits continue the ID sequence rather than clobbering.
+	resp, body := postJSON(t, ts2.URL+"/v1/audits", map[string]any{
+		"dataset": "workers", "weights": map[string]float64{"ApprovalRate": 1},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-restart audit = %d: %s", resp.StatusCode, body)
+	}
+	if code := getJSON(t, ts2.URL+"/v1/audits", &audits); code != 200 || len(audits) != 2 {
+		t.Fatalf("expected 2 audits after restart, got %d", len(audits))
+	}
+}
+
+func TestRankUsesStoredTaskAcrossDatasets(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "a", 60)
+	uploadDataset(t, ts, "b", 90)
+	postJSON(t, ts.URL+"/v1/tasks", map[string]any{
+		"id": "tb", "dataset": "b",
+		"weights": map[string]float64{"ApprovalRate": 1},
+	})
+	var ranked []map[string]any
+	if code := getJSON(t, ts.URL+"/v1/rank?task=tb&k=0", &ranked); code != 200 {
+		t.Fatalf("rank = %d", code)
+	}
+	if len(ranked) != 90 {
+		t.Fatalf("ranked %d workers, want 90 (dataset b)", len(ranked))
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 150)
+	resp, body := postJSON(t, ts.URL+"/v1/explain", map[string]any{
+		"dataset": "workers",
+		"weights": map[string]float64{"LanguageTest": 1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain = %d: %s", resp.StatusCode, body)
+	}
+	var imps []map[string]any
+	if err := json.Unmarshal(body, &imps); err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 6 {
+		t.Fatalf("%d importances, want 6", len(imps))
+	}
+	if _, ok := imps[0]["Solo"]; !ok {
+		t.Fatalf("importance shape: %v", imps[0])
+	}
+	// Errors.
+	resp, _ = postJSON(t, ts.URL+"/v1/explain", map[string]any{
+		"dataset": "missing", "weights": map[string]float64{"LanguageTest": 1},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing dataset = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/explain", map[string]any{
+		"dataset": "workers", "weights": map[string]float64{},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty weights = %d", resp.StatusCode)
+	}
+}

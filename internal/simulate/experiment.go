@@ -1,0 +1,257 @@
+package simulate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fairrank/internal/core"
+	"fairrank/internal/dataset"
+	"fairrank/internal/rng"
+	"fairrank/internal/scoring"
+)
+
+// AlgorithmID names one of the paper's five algorithms.
+type AlgorithmID string
+
+// The five algorithms compared in Tables 1–3, in the paper's row order.
+const (
+	AlgoUnbalanced    AlgorithmID = "unbalanced"
+	AlgoRUnbalanced   AlgorithmID = "r-unbalanced"
+	AlgoBalanced      AlgorithmID = "balanced"
+	AlgoRBalanced     AlgorithmID = "r-balanced"
+	AlgoAllAttributes AlgorithmID = "all-attributes"
+)
+
+// AllAlgorithms lists the table rows in order.
+var AllAlgorithms = []AlgorithmID{
+	AlgoUnbalanced, AlgoRUnbalanced, AlgoBalanced, AlgoRBalanced, AlgoAllAttributes,
+}
+
+// Spec describes one experiment: a worker population, a set of scoring
+// functions (table columns) and a set of algorithms (table rows).
+type Spec struct {
+	// Name labels the experiment, e.g. "table1".
+	Name string
+	// Workers is the population size.
+	Workers int
+	// Seed drives worker generation and the random-attribute baselines.
+	Seed uint64
+	// Funcs are the scoring functions to audit (table columns).
+	Funcs []scoring.Func
+	// Algorithms are the table rows; nil means AllAlgorithms.
+	Algorithms []AlgorithmID
+	// Config tunes the unfairness evaluator.
+	Config core.Config
+}
+
+// Cell is one (algorithm, function) measurement.
+type Cell struct {
+	// Function is the scoring function's name.
+	Function string
+	// AvgDistance is the unfairness of the partitioning found.
+	AvgDistance float64
+	// Elapsed is the algorithm's wall-clock runtime.
+	Elapsed time.Duration
+	// Partitions is the size of the partitioning found.
+	Partitions int
+	// AttributesUsed names the protected attributes the partitioning
+	// splits on.
+	AttributesUsed []string
+}
+
+// Row is one algorithm's measurements across all functions.
+type Row struct {
+	Algorithm AlgorithmID
+	Cells     []Cell
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Spec    Spec
+	Dataset *dataset.Dataset
+	Rows    []Row
+}
+
+// Run executes the experiment: it generates the worker population once and
+// runs every algorithm on every scoring function. Runs are deterministic in
+// the Spec.
+func Run(spec Spec) (*Result, error) {
+	if len(spec.Funcs) == 0 {
+		return nil, fmt.Errorf("simulate: experiment %q has no scoring functions", spec.Name)
+	}
+	algos := spec.Algorithms
+	if algos == nil {
+		algos = AllAlgorithms
+	}
+	ds, err := PaperWorkers(spec.Workers, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec, Dataset: ds}
+	rows := make(map[AlgorithmID]*Row, len(algos))
+	for _, a := range algos {
+		rows[a] = &Row{Algorithm: a}
+	}
+	for fi, f := range spec.Funcs {
+		e, err := core.NewEvaluator(ds, f, spec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: evaluator for %s: %w", f.Name(), err)
+		}
+		for _, a := range algos {
+			r, err := runAlgorithm(e, a, spec.Seed+uint64(fi)*1000)
+			if err != nil {
+				return nil, err
+			}
+			attrs := make([]string, 0)
+			for _, ai := range r.Partitioning.AttributesUsed() {
+				attrs = append(attrs, ds.Schema().Protected[ai].Name)
+			}
+			rows[a].Cells = append(rows[a].Cells, Cell{
+				Function:       f.Name(),
+				AvgDistance:    r.Unfairness,
+				Elapsed:        r.Elapsed,
+				Partitions:     r.Partitioning.Size(),
+				AttributesUsed: attrs,
+			})
+		}
+	}
+	for _, a := range algos {
+		res.Rows = append(res.Rows, *rows[a])
+	}
+	return res, nil
+}
+
+// RunParallel is Run with the (function, algorithm) cells executed
+// concurrently by at most `workers` goroutines. Results are identical to
+// Run's — each cell gets its own evaluator and a seed derived only from the
+// spec — but wall-clock time drops roughly by the worker count; only the
+// per-cell Elapsed values may differ (they measure the same work under
+// scheduler contention).
+func RunParallel(spec Spec, workers int) (*Result, error) {
+	if workers <= 1 {
+		return Run(spec)
+	}
+	if len(spec.Funcs) == 0 {
+		return nil, fmt.Errorf("simulate: experiment %q has no scoring functions", spec.Name)
+	}
+	algos := spec.Algorithms
+	if algos == nil {
+		algos = AllAlgorithms
+	}
+	ds, err := PaperWorkers(spec.Workers, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct{ fi, ai int }
+	type outcome struct {
+		job
+		cell Cell
+		err  error
+	}
+	jobs := make(chan job)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				f := spec.Funcs[j.fi]
+				e, err := core.NewEvaluator(ds, f, spec.Config)
+				if err != nil {
+					results <- outcome{job: j, err: err}
+					continue
+				}
+				r, err := runAlgorithm(e, algos[j.ai], spec.Seed+uint64(j.fi)*1000)
+				if err != nil {
+					results <- outcome{job: j, err: err}
+					continue
+				}
+				attrs := make([]string, 0)
+				for _, ai := range r.Partitioning.AttributesUsed() {
+					attrs = append(attrs, ds.Schema().Protected[ai].Name)
+				}
+				results <- outcome{job: j, cell: Cell{
+					Function:       f.Name(),
+					AvgDistance:    r.Unfairness,
+					Elapsed:        r.Elapsed,
+					Partitions:     r.Partitioning.Size(),
+					AttributesUsed: attrs,
+				}}
+			}
+		}()
+	}
+	go func() {
+		for fi := range spec.Funcs {
+			for ai := range algos {
+				jobs <- job{fi, ai}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	cells := make([][]Cell, len(algos))
+	for ai := range cells {
+		cells[ai] = make([]Cell, len(spec.Funcs))
+	}
+	for out := range results {
+		if out.err != nil {
+			return nil, out.err
+		}
+		cells[out.ai][out.fi] = out.cell
+	}
+	res := &Result{Spec: spec, Dataset: ds}
+	for ai, a := range algos {
+		res.Rows = append(res.Rows, Row{Algorithm: a, Cells: cells[ai]})
+	}
+	return res, nil
+}
+
+func runAlgorithm(e *core.Evaluator, a AlgorithmID, seed uint64) (*core.Result, error) {
+	switch a {
+	case AlgoBalanced:
+		return core.Balanced(e, nil), nil
+	case AlgoUnbalanced:
+		return core.Unbalanced(e, nil), nil
+	case AlgoRBalanced:
+		return core.RBalanced(e, nil, rng.New(seed+1)), nil
+	case AlgoRUnbalanced:
+		return core.RUnbalanced(e, nil, rng.New(seed+2)), nil
+	case AlgoAllAttributes:
+		return core.AllAttributes(e, nil), nil
+	default:
+		return nil, fmt.Errorf("simulate: unknown algorithm %q", a)
+	}
+}
+
+// Table1Spec reproduces Table 1: 500 workers, random functions f1–f5,
+// all five algorithms.
+func Table1Spec(seed uint64) (Spec, error) {
+	funcs, err := RandomFunctions()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Name: "table1", Workers: SmallPopulation, Seed: seed, Funcs: funcs}, nil
+}
+
+// Table2Spec reproduces Table 2: 7300 workers, random functions f1–f5.
+func Table2Spec(seed uint64) (Spec, error) {
+	funcs, err := RandomFunctions()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Name: "table2", Workers: LargePopulation, Seed: seed, Funcs: funcs}, nil
+}
+
+// Table3Spec reproduces Table 3: 7300 workers, biased functions f6–f9.
+func Table3Spec(seed uint64) (Spec, error) {
+	funcs, err := BiasedFunctions(seed)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Name: "table3", Workers: LargePopulation, Seed: seed, Funcs: funcs}, nil
+}

@@ -1,0 +1,57 @@
+package simulate
+
+import (
+	"fairrank/internal/dataset"
+	"fairrank/internal/scoring"
+)
+
+// Figure1Workers reconstructs the paper's Figure 1 toy example: ten workers
+// of a freelancing platform whose optimum partitioning splits on Gender
+// first and then only the Male branch on Language, yielding
+// {Male∧English, Male∧Indian, Male∧Other, Female}. The function scores are
+// carried as an observed attribute so the identity scoring function from
+// Figure1Func ranks the workers exactly as the figure does.
+func Figure1Workers() (*dataset.Dataset, error) {
+	schema := &dataset.Schema{
+		Protected: []dataset.Attribute{
+			dataset.Cat("Gender", "Male", "Female"),
+			dataset.Cat("Language", "English", "Indian", "Other"),
+		},
+		Observed: []dataset.Attribute{dataset.Num("Score", 0, 1, 1)},
+	}
+	type w struct {
+		gender, lang string
+		score        float64
+	}
+	workers := []w{
+		{"Male", "English", 0.95},
+		{"Male", "English", 0.92},
+		{"Male", "Indian", 0.05},
+		{"Male", "Indian", 0.08},
+		{"Male", "Other", 0.35},
+		{"Male", "Other", 0.35},
+		{"Female", "English", 0.65},
+		{"Female", "English", 0.65},
+		{"Female", "Indian", 0.65},
+		{"Female", "Other", 0.65},
+	}
+	b := dataset.NewBuilder(schema)
+	for i, x := range workers {
+		b.Add(id(i), map[string]any{"Gender": x.gender, "Language": x.lang},
+			map[string]any{"Score": x.score})
+	}
+	return b.Build()
+}
+
+func id(i int) string { return string(rune('a' + i)) }
+
+// Figure1Func returns the scoring function of the toy example: the workers'
+// pre-assigned qualification scores, read straight from the dataset.
+func Figure1Func() scoring.Func {
+	return scoring.ScoreFunc{
+		FuncName: "f",
+		Fn: func(ds *dataset.Dataset, i int) float64 {
+			return ds.Observed(0, i)
+		},
+	}
+}

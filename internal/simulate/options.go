@@ -1,0 +1,122 @@
+package simulate
+
+import (
+	"fmt"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/rng"
+)
+
+// Options shapes a synthetic population beyond the paper's uniform draws.
+// The paper generates all attribute values uniformly "so as to avoid
+// injecting any bias in the data ourselves"; its future work is to audit
+// real platforms (Qapa, TaskRabbit), whose data has demographic skew and
+// skill-demographic correlations. Options simulates those real-world
+// effects so the audit pipeline can be exercised on realistic populations:
+// when skills correlate with a protected attribute, even an "innocent"
+// skill-based scoring function becomes unfair toward the correlated groups,
+// which is exactly the latent bias an auditor needs to surface.
+type Options struct {
+	// GenderSkew is the probability of drawing Male (default 0.5).
+	GenderSkew float64
+	// CountryWeights are relative draw weights for America, India, Other
+	// (default uniform).
+	CountryWeights [3]float64
+	// SkillBias adds a correlation between observed skills and a
+	// protected attribute: workers whose attribute BiasAttr has value
+	// BiasValue get their observed attributes shifted by SkillBias (in
+	// raw attribute units, may be negative). Zero means no correlation.
+	SkillBias float64
+	// BiasAttr and BiasValue select the advantaged (or penalized) group,
+	// e.g. "Language" / "English". Required when SkillBias != 0.
+	BiasAttr  string
+	BiasValue string
+}
+
+// SkewedWorkers generates n workers with the paper's schema under the
+// given Options. Same (n, seed, opts) always yields the same dataset.
+func SkewedWorkers(n int, seed uint64, opts Options) (*dataset.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("simulate: population size %d must be positive", n)
+	}
+	if opts.GenderSkew == 0 {
+		opts.GenderSkew = 0.5
+	}
+	if opts.GenderSkew < 0 || opts.GenderSkew > 1 {
+		return nil, fmt.Errorf("simulate: gender skew %v outside [0,1]", opts.GenderSkew)
+	}
+	cw := opts.CountryWeights
+	if cw[0]+cw[1]+cw[2] == 0 {
+		cw = [3]float64{1, 1, 1}
+	}
+	for _, w := range cw {
+		if w < 0 {
+			return nil, fmt.Errorf("simulate: negative country weight %v", w)
+		}
+	}
+	schema := PaperSchema()
+	if opts.SkillBias != 0 {
+		if schema.ProtectedIndex(opts.BiasAttr) < 0 {
+			return nil, fmt.Errorf("simulate: bias attribute %q is not protected", opts.BiasAttr)
+		}
+	}
+
+	r := rng.New(seed)
+	b := dataset.NewBuilder(schema)
+	countries := []string{"America", "India", "Other"}
+	languages := []string{"English", "Indian", "Other"}
+	ethnicities := []string{"White", "African-American", "Indian", "Other"}
+	total := cw[0] + cw[1] + cw[2]
+	for i := 0; i < n; i++ {
+		gender := "Female"
+		if r.Float64() < opts.GenderSkew {
+			gender = "Male"
+		}
+		x := r.Float64() * total
+		country := countries[2]
+		switch {
+		case x < cw[0]:
+			country = countries[0]
+		case x < cw[0]+cw[1]:
+			country = countries[1]
+		}
+		prot := map[string]any{
+			"Gender":          gender,
+			"Country":         country,
+			"YearOfBirth":     r.IntRange(1950, 2009),
+			"Language":        rng.Pick(r, languages),
+			"Ethnicity":       rng.Pick(r, ethnicities),
+			"YearsExperience": r.IntRange(0, 30),
+		}
+		lang := r.FloatRange(25, 100)
+		appr := r.FloatRange(25, 100)
+		if opts.SkillBias != 0 && matchesBias(prot, opts) {
+			lang = clampRange(lang+opts.SkillBias, 25, 100)
+			appr = clampRange(appr+opts.SkillBias, 25, 100)
+		}
+		b.Add(fmt.Sprintf("w%05d", i), prot, map[string]any{
+			"LanguageTest": lang,
+			"ApprovalRate": appr,
+		})
+	}
+	return b.Build()
+}
+
+func matchesBias(prot map[string]any, opts Options) bool {
+	v, ok := prot[opts.BiasAttr]
+	if !ok {
+		return false
+	}
+	s, ok := v.(string)
+	return ok && s == opts.BiasValue
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/core"
+)
+
+func TestSkewedWorkersValidation(t *testing.T) {
+	if _, err := SkewedWorkers(0, 1, Options{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SkewedWorkers(10, 1, Options{GenderSkew: 1.5}); err == nil {
+		t.Error("skew > 1 accepted")
+	}
+	if _, err := SkewedWorkers(10, 1, Options{GenderSkew: -0.5}); err == nil {
+		t.Error("negative skew accepted")
+	}
+	if _, err := SkewedWorkers(10, 1, Options{CountryWeights: [3]float64{-1, 1, 1}}); err == nil {
+		t.Error("negative country weight accepted")
+	}
+	if _, err := SkewedWorkers(10, 1, Options{SkillBias: 10, BiasAttr: "Charisma", BiasValue: "x"}); err == nil {
+		t.Error("unknown bias attribute accepted")
+	}
+}
+
+func TestSkewedWorkersDefaultsMatchUniform(t *testing.T) {
+	ds, err := SkewedWorkers(3000, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gender := ds.Schema().ProtectedIndex("Gender")
+	males := 0
+	for i := 0; i < ds.N(); i++ {
+		if ds.Code(gender, i) == 0 {
+			males++
+		}
+	}
+	frac := float64(males) / float64(ds.N())
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("default male fraction = %v", frac)
+	}
+}
+
+func TestSkewedWorkersGenderSkew(t *testing.T) {
+	ds, err := SkewedWorkers(3000, 6, Options{GenderSkew: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gender := ds.Schema().ProtectedIndex("Gender")
+	males := 0
+	for i := 0; i < ds.N(); i++ {
+		if ds.Code(gender, i) == 0 {
+			males++
+		}
+	}
+	frac := float64(males) / float64(ds.N())
+	if math.Abs(frac-0.8) > 0.05 {
+		t.Fatalf("male fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestSkewedWorkersCountryWeights(t *testing.T) {
+	ds, err := SkewedWorkers(3000, 7, Options{CountryWeights: [3]float64{6, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	country := ds.Schema().ProtectedIndex("Country")
+	counts := make([]int, 3)
+	for i := 0; i < ds.N(); i++ {
+		counts[ds.Code(country, i)]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Fatalf("country counts = %v, want descending", counts)
+	}
+	if frac := float64(counts[0]) / float64(ds.N()); math.Abs(frac-0.6) > 0.05 {
+		t.Fatalf("America fraction = %v, want ~0.6", frac)
+	}
+}
+
+func TestSkillBiasShiftsScores(t *testing.T) {
+	ds, err := SkewedWorkers(3000, 8, Options{
+		SkillBias: 30, BiasAttr: "Language", BiasValue: "English",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang := ds.Schema().ProtectedIndex("Language")
+	obs := ds.Schema().ObservedIndex("LanguageTest")
+	var sumEng, sumOther, nEng, nOther float64
+	for i := 0; i < ds.N(); i++ {
+		if ds.Schema().Protected[lang].Values[ds.Code(lang, i)] == "English" {
+			sumEng += ds.Observed(obs, i)
+			nEng++
+		} else {
+			sumOther += ds.Observed(obs, i)
+			nOther++
+		}
+	}
+	if sumEng/nEng < sumOther/nOther+15 {
+		t.Fatalf("English mean %v not clearly above others %v", sumEng/nEng, sumOther/nOther)
+	}
+}
+
+// TestLatentBiasDetectedByAudit is the future-work scenario end to end: the
+// scoring function is an innocent skill average, but because skills
+// correlate with Language in the population, the audit must find a
+// partitioning that splits on Language and measures elevated unfairness.
+func TestLatentBiasDetectedByAudit(t *testing.T) {
+	biased, err := SkewedWorkers(1500, 9, Options{
+		SkillBias: 40, BiasAttr: "Language", BiasValue: "English",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutral, err := SkewedWorkers(1500, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs, _ := RandomFunctions()
+	f := funcs[0] // f1 = 0.5·LanguageTest + 0.5·ApprovalRate
+
+	eb, err := core.NewEvaluator(biased, f, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := core.NewEvaluator(neutral, f, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := core.Balanced(eb, nil)
+	rn := core.Balanced(en, nil)
+	if rb.Unfairness <= rn.Unfairness {
+		t.Fatalf("latent bias (%v) not above neutral (%v)", rb.Unfairness, rn.Unfairness)
+	}
+	// The first split must be on the correlated attribute.
+	langIdx := biased.Schema().ProtectedIndex("Language")
+	if len(rb.Steps) == 0 || rb.Steps[0].Attribute != langIdx {
+		t.Fatalf("first split attribute = %d, want Language (%d)", rb.Steps[0].Attribute, langIdx)
+	}
+	// And the Language grouping itself carries a large, unambiguous gap
+	// on the biased population but not on the neutral one.
+	langSplit := func(e *core.Evaluator) float64 {
+		res := core.Balanced(e, []int{langIdx})
+		return res.Unfairness
+	}
+	if got := langSplit(eb); got < 0.25 {
+		t.Fatalf("language-split unfairness on biased population = %v, want > 0.25", got)
+	}
+	if got := langSplit(en); got > 0.1 {
+		t.Fatalf("language-split unfairness on neutral population = %v, want < 0.1", got)
+	}
+}
+
+func TestSkewedWorkersDeterministic(t *testing.T) {
+	opts := Options{GenderSkew: 0.7, SkillBias: 10, BiasAttr: "Gender", BiasValue: "Male"}
+	a, err := SkewedWorkers(100, 11, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SkewedWorkers(100, 11, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Observed(0, i) != b.Observed(0, i) {
+			t.Fatal("not deterministic")
+		}
+	}
+}

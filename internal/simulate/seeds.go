@@ -1,0 +1,98 @@
+package simulate
+
+import (
+	"fmt"
+	"time"
+
+	"fairrank/internal/stats"
+)
+
+// AggregateCell is one (algorithm, function) measurement aggregated over
+// multiple seeds. The paper reports single-run point estimates and remarks
+// that "various runs of the experiments resulted in different behavior";
+// aggregation quantifies that variation.
+type AggregateCell struct {
+	Function string
+	// Mean and StdDev of the average pairwise distance across seeds.
+	Mean, StdDev float64
+	// Min and Max across seeds.
+	Min, Max float64
+	// MeanElapsed is the mean wall-clock runtime.
+	MeanElapsed time.Duration
+	// Runs is the number of seeds aggregated.
+	Runs int
+}
+
+// AggregateRow is one algorithm's aggregated measurements.
+type AggregateRow struct {
+	Algorithm AlgorithmID
+	Cells     []AggregateCell
+}
+
+// AggregateResult is a completed multi-seed experiment.
+type AggregateResult struct {
+	Spec  Spec
+	Seeds []uint64
+	Rows  []AggregateRow
+}
+
+// RunSeeds repeats the experiment once per seed (regenerating the worker
+// population each time) and aggregates the per-cell unfairness across runs.
+// parallel > 1 parallelizes within each run.
+func RunSeeds(spec Spec, seeds []uint64, parallel int) (*AggregateResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("simulate: no seeds")
+	}
+	algos := spec.Algorithms
+	if algos == nil {
+		algos = AllAlgorithms
+	}
+	// values[ai][fi] collects the distance per seed.
+	values := make([][][]float64, len(algos))
+	elapsed := make([][]time.Duration, len(algos))
+	for ai := range values {
+		values[ai] = make([][]float64, len(spec.Funcs))
+		elapsed[ai] = make([]time.Duration, len(spec.Funcs))
+	}
+	var funcNames []string
+	for _, seed := range seeds {
+		s := spec
+		s.Seed = seed
+		res, err := RunParallel(s, parallel)
+		if err != nil {
+			return nil, err
+		}
+		if funcNames == nil {
+			for _, c := range res.Rows[0].Cells {
+				funcNames = append(funcNames, c.Function)
+			}
+		}
+		for ai, row := range res.Rows {
+			for fi, c := range row.Cells {
+				values[ai][fi] = append(values[ai][fi], c.AvgDistance)
+				elapsed[ai][fi] += c.Elapsed
+			}
+		}
+	}
+	out := &AggregateResult{Spec: spec, Seeds: append([]uint64(nil), seeds...)}
+	for ai, a := range algos {
+		row := AggregateRow{Algorithm: a}
+		for fi := range spec.Funcs {
+			vs := values[ai][fi]
+			mean, _ := stats.Mean(vs)
+			sd, _ := stats.StdDev(vs)
+			min, max, _ := stats.MinMax(vs)
+			row.Cells = append(row.Cells, AggregateCell{
+				Function:    funcNames[fi],
+				Mean:        mean,
+				StdDev:      sd,
+				Min:         min,
+				Max:         max,
+				MeanElapsed: elapsed[ai][fi] / time.Duration(len(seeds)),
+				Runs:        len(seeds),
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+// Package simulate generates the paper's evaluation workloads: the
+// simulated crowdsourcing-platform worker populations (500 and 7300 active
+// workers, the latter being the estimated number of concurrently active
+// Amazon Mechanical Turk workers), the five random task-qualification
+// functions f1–f5, and the four carefully constructed "unfair by design"
+// functions f6–f9 of the qualitative study. It also provides the experiment
+// runner that regenerates Tables 1–3.
+package simulate
+
+import (
+	"fmt"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/rng"
+)
+
+// Paper population sizes.
+const (
+	// SmallPopulation is the paper's first worker-set size.
+	SmallPopulation = 500
+	// LargePopulation is the paper's second worker-set size, "the
+	// estimated number of Amazon Mechanical Turk workers who are active
+	// at any time" (Stewart et al., 2015).
+	LargePopulation = 7300
+)
+
+// PaperSchema returns the exact attribute space of the paper's simulation:
+// six protected attributes — Gender {Male, Female}, Country {America,
+// India, Other}, Year of Birth [1950, 2009], Language {English, Indian,
+// Other}, Ethnicity {White, African-American, Indian, Other}, Years of
+// Experience [0, 30] — and two observed attributes, LanguageTest [25,100]
+// and ApprovalRate [25,100]. Numeric protected attributes are bucketized
+// into 5 ranges ("each attribute had only a maximum of 5 values").
+func PaperSchema() *dataset.Schema {
+	return &dataset.Schema{
+		Protected: []dataset.Attribute{
+			dataset.Cat("Gender", "Male", "Female"),
+			dataset.Cat("Country", "America", "India", "Other"),
+			dataset.Num("YearOfBirth", 1950, 2010, 5),
+			dataset.Cat("Language", "English", "Indian", "Other"),
+			dataset.Cat("Ethnicity", "White", "African-American", "Indian", "Other"),
+			dataset.Num("YearsExperience", 0, 31, 5),
+		},
+		Observed: []dataset.Attribute{
+			dataset.Num("LanguageTest", 25, 100, 1),
+			dataset.Num("ApprovalRate", 25, 100, 1),
+		},
+	}
+}
+
+// PaperWorkers generates n workers with attribute values "populated
+// randomly so as to avoid injecting any bias in the data ourselves", as in
+// the paper's setting. The same (n, seed) always yields the same dataset.
+func PaperWorkers(n int, seed uint64) (*dataset.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("simulate: population size %d must be positive", n)
+	}
+	r := rng.New(seed)
+	b := dataset.NewBuilder(PaperSchema())
+	genders := []string{"Male", "Female"}
+	countries := []string{"America", "India", "Other"}
+	languages := []string{"English", "Indian", "Other"}
+	ethnicities := []string{"White", "African-American", "Indian", "Other"}
+	for i := 0; i < n; i++ {
+		b.Add(fmt.Sprintf("w%05d", i),
+			map[string]any{
+				"Gender":          rng.Pick(r, genders),
+				"Country":         rng.Pick(r, countries),
+				"YearOfBirth":     r.IntRange(1950, 2009),
+				"Language":        rng.Pick(r, languages),
+				"Ethnicity":       rng.Pick(r, ethnicities),
+				"YearsExperience": r.IntRange(0, 30),
+			},
+			map[string]any{
+				"LanguageTest": r.FloatRange(25, 100),
+				"ApprovalRate": r.FloatRange(25, 100),
+			})
+	}
+	return b.Build()
+}

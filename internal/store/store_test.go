@@ -1,0 +1,312 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*DB, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := openTemp(t)
+	if err := db.Put("tasks", "t1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db.Get("tasks", "t1")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := db.Get("tasks", "missing"); ok {
+		t.Error("missing key found")
+	}
+	if _, ok := db.Get("nobucket", "t1"); ok {
+		t.Error("missing bucket found")
+	}
+	if err := db.Put("tasks", "t1", []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db.Get("tasks", "t1")
+	if string(v) != "updated" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if err := db.Delete("tasks", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get("tasks", "t1"); ok {
+		t.Error("deleted key still present")
+	}
+	if err := db.Delete("tasks", "t1"); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	db, _ := openTemp(t)
+	if err := db.Put("", "k", nil); err == nil {
+		t.Error("empty bucket accepted")
+	}
+	if err := db.Put("b", "", nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Put("b", "k", []byte("abc"))
+	v, _ := db.Get("b", "k")
+	v[0] = 'X'
+	v2, _ := db.Get("b", "k")
+	if string(v2) != "abc" {
+		t.Fatal("Get leaked internal storage")
+	}
+}
+
+func TestKeysSortedAndLen(t *testing.T) {
+	db, _ := openTemp(t)
+	for _, k := range []string{"c", "a", "b"} {
+		db.Put("b", k, []byte(k))
+	}
+	keys := db.Keys("b")
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if db.Len("b") != 3 || db.Len("empty") != 0 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestReplayAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replay.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put("b", fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete("b", "k050")
+	db.Put("b", "k001", []byte("rewritten"))
+	db.Close()
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len("b") != 99 {
+		t.Fatalf("replayed %d keys, want 99", db2.Len("b"))
+	}
+	if _, ok := db2.Get("b", "k050"); ok {
+		t.Error("deleted key resurrected")
+	}
+	v, _ := db2.Get("b", "k001")
+	if string(v) != "rewritten" {
+		t.Errorf("k001 = %q", v)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("b", "good1", []byte("v1"))
+	db.Put("b", "good2", []byte("v2"))
+	db.Close()
+
+	// Simulate a crash mid-append: chop off the last few bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db2.Get("b", "good1"); !ok {
+		t.Error("prefix record lost")
+	}
+	if _, ok := db2.Get("b", "good2"); ok {
+		t.Error("torn record survived")
+	}
+	// The store must be appendable again after truncation.
+	if err := db2.Put("b", "after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	db3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if _, ok := db3.Get("b", "after"); !ok {
+		t.Error("post-truncation append lost")
+	}
+}
+
+func TestCorruptTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("b", "keep", []byte("v"))
+	db.Put("b", "drop", []byte("w"))
+	db.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt last record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Get("b", "keep"); !ok {
+		t.Error("valid prefix record lost")
+	}
+	if _, ok := db2.Get("b", "drop"); ok {
+		t.Error("corrupt record survived")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1000)
+	for i := 0; i < 50; i++ {
+		db.Put("b", "hot", payload) // 49 dead versions
+	}
+	db.Put("b", "cold", []byte("small"))
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dead := db.Stats(); dead == 0 {
+		t.Fatal("expected dead records")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size()/2 {
+		t.Fatalf("compaction barely shrank: %d -> %d", before.Size(), after.Size())
+	}
+	v, ok := db.Get("b", "hot")
+	if !ok || len(v) != 1000 {
+		t.Fatal("live value lost by compaction")
+	}
+	// Post-compaction writes and reopen must work.
+	db.Put("b", "new", []byte("n"))
+	db.Close()
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, k := range []string{"hot", "cold", "new"} {
+		if _, ok := db2.Get("b", k); !ok {
+			t.Errorf("key %s lost after compaction+reopen", k)
+		}
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Close()
+	if err := db.Put("b", "k", nil); err != ErrClosed {
+		t.Errorf("Put err = %v", err)
+	}
+	if err := db.Delete("b", "k"); err != ErrClosed {
+		t.Errorf("Delete err = %v", err)
+	}
+	if err := db.Compact(); err != ErrClosed {
+		t.Errorf("Compact err = %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db, _ := openTemp(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := db.Put("b", key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := db.Get("b", key); !ok || string(v) != key {
+					t.Errorf("read-your-write failed for %s", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len("b") != 400 {
+		t.Fatalf("%d keys, want 400", db.Len("b"))
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.db")
+	db, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Get("b", "k"); !ok || string(v) != "v" {
+		t.Fatal("synced put unreadable")
+	}
+}
+
+func TestDatasetSnapshotInStore(t *testing.T) {
+	// Large values (binary dataset snapshots) round-trip through the KV
+	// layer, integrating the two persistence pieces.
+	db, _ := openTemp(t)
+	big := bytes.Repeat([]byte{0xAB, 0xCD}, 1<<16)
+	if err := db.Put("datasets", "snap", big); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db.Get("datasets", "snap")
+	if !ok || !bytes.Equal(v, big) {
+		t.Fatal("large value corrupted")
+	}
+}

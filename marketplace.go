@@ -1,0 +1,75 @@
+package fairrank
+
+import (
+	"fairrank/internal/marketplace"
+	"fairrank/internal/rng"
+)
+
+// Marketplace simulates an online job marketplace: a worker population plus
+// posted tasks, each ranking candidates by a task-qualification function.
+type Marketplace = marketplace.Marketplace
+
+// Task is a job posted on the platform; its weights over observed worker
+// attributes define the ranking function.
+type Task = marketplace.Task
+
+// RankedWorker is one entry of a platform ranking.
+type RankedWorker = marketplace.RankedWorker
+
+// HiringStats summarizes a simulated sequence of hiring decisions.
+type HiringStats = marketplace.HiringStats
+
+// AssignmentPolicy selects how arriving tasks are assigned to ranked
+// workers in income simulations.
+type AssignmentPolicy = marketplace.AssignmentPolicy
+
+// Assignment policies for Marketplace.SimulateIncome.
+const (
+	// PolicyTopRanked always assigns the best-scored candidate.
+	PolicyTopRanked = marketplace.PolicyTopRanked
+	// PolicyExposureWeighted assigns proportionally to position bias.
+	PolicyExposureWeighted = marketplace.PolicyExposureWeighted
+	// PolicyRoundRobin rotates assignments through the top-k.
+	PolicyRoundRobin = marketplace.PolicyRoundRobin
+)
+
+// IncomeReport summarizes a long-run assignment simulation: the Gini
+// coefficient of per-worker income and per-group mean incomes.
+type IncomeReport = marketplace.IncomeReport
+
+// RNG is fairrank's deterministic pseudo-random number generator
+// (xoshiro256++), used wherever reproducible randomness is needed.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewMarketplace creates a simulated platform over a worker population.
+func NewMarketplace(workers *Dataset) (*Marketplace, error) {
+	return marketplace.New(workers)
+}
+
+// RankWorkers ranks a dataset's workers under a scoring function, returning
+// the top k (all when k <= 0) in descending score order.
+func RankWorkers(ds *Dataset, f ScoringFunc, k int) []RankedWorker {
+	return marketplace.RankBy(ds, f, k)
+}
+
+// Ranking/exposure helpers (fairness-of-exposure, Singh & Joachims 2018,
+// cited by the paper as related work).
+var (
+	// PositionBias is the logarithmic attention weight of a 1-based rank.
+	PositionBias = marketplace.PositionBias
+	// GroupExposure computes mean position-bias exposure per group of a
+	// protected attribute.
+	GroupExposure = marketplace.GroupExposure
+	// ExposureDisparity summarizes a group-exposure map as a max/min ratio.
+	ExposureDisparity = marketplace.ExposureDisparity
+	// NDCG measures a ranking's utility against per-worker relevance,
+	// e.g. to quantify what a fairness repair costs in ranking quality.
+	NDCG = marketplace.NDCG
+	// TopKOverlap is the Jaccard overlap of two rankings' top-k sets.
+	TopKOverlap = marketplace.TopKOverlap
+	// KendallTau is the rank correlation between two rankings.
+	KendallTau = marketplace.KendallTau
+)

@@ -1,0 +1,36 @@
+package fairrank
+
+import (
+	"fmt"
+
+	"fairrank/internal/monitor"
+	"fairrank/internal/rerank"
+)
+
+// FairnessMonitor tracks the unfairness of a fixed demographic grouping
+// under a stream of worker arrivals, departures and re-scores, re-evaluable
+// after every event without rescanning the population.
+type FairnessMonitor = monitor.Monitor
+
+// NewMonitor creates a FairnessMonitor over the partitioning induced by the
+// named protected attributes of the schema. Alert fires when unfairness
+// exceeds threshold; bins defaults to 10 when <= 0.
+func NewMonitor(schema *Schema, attrs []string, bins int, threshold float64) (*FairnessMonitor, error) {
+	return monitor.New(schema, attrs, bins, threshold)
+}
+
+// RerankOptions configures exposure-parity re-ranking.
+type RerankOptions = rerank.Options
+
+// RerankExposureParity re-orders a ranked candidate list so each group of
+// the named protected attribute receives position-bias exposure close to
+// its share of the candidate pool, sacrificing at most Epsilon score per
+// position. Combine with Auditor.RepairedScores: repair fixes scores,
+// re-ranking fixes the result page.
+func RerankExposureParity(ds *Dataset, attrName string, ranked []RankedWorker, opts RerankOptions) ([]RankedWorker, error) {
+	attr := ds.Schema().ProtectedIndex(attrName)
+	if attr < 0 {
+		return nil, fmt.Errorf("fairrank: %q is not a protected attribute", attrName)
+	}
+	return rerank.ExposureParity(ds, attr, ranked, opts)
+}
