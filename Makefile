@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick benchmark smoke pass; full numbers come from `go test -bench . .`
+# and cmd/fairbench.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# verify is the gate for changes to the evaluation engine: static checks
+# plus the race detector over the packages the incremental engine spans.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/partition/...

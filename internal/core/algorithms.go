@@ -34,36 +34,33 @@ type TraceStep struct {
 	Accepted bool
 }
 
-// chooser selects the attribute to split a set of partitions on, returning
-// the attribute, the children after splitting all partitions on it, and the
-// children's average pairwise distance.
-type chooser func(e *Evaluator, parts []*partition.Partition, attrs []int) (attr int, children []*partition.Partition, avg float64)
+// chooser selects the attribute to split a state's partitions on, returning
+// the attribute and the incrementally evaluated state after splitting every
+// partition on it.
+type chooser func(s *matState, attrs []int) (attr int, children *matState)
 
-// worstAttribute is the paper's greedy choice: try every remaining
-// attribute and keep the one whose split yields the highest average
-// pairwise distance. Ties break toward the lowest attribute index, making
-// runs deterministic.
-func worstAttribute(e *Evaluator, parts []*partition.Partition, attrs []int) (int, []*partition.Partition, float64) {
-	bestAttr := -1
-	var bestChildren []*partition.Partition
-	bestAvg := -1.0
-	for _, a := range attrs {
-		children := e.splitAll(parts, a)
-		avg := e.AvgPairwise(children)
-		if avg > bestAvg {
-			bestAttr, bestChildren, bestAvg = a, children, avg
+// worstAttribute is the paper's greedy choice: probe every remaining
+// attribute (concurrently, under Config.Parallelism) and keep the one whose
+// split yields the highest average pairwise distance. Ties break toward the
+// lowest attribute index, making runs deterministic regardless of the scan
+// order.
+func worstAttribute(s *matState, attrs []int) (int, *matState) {
+	probes := s.probeAll(attrs)
+	best := 0
+	for x := 1; x < len(probes); x++ {
+		if probes[x].avg > probes[best].avg {
+			best = x
 		}
 	}
-	return bestAttr, bestChildren, bestAvg
+	return attrs[best], probes[best]
 }
 
 // randomAttribute is the baseline choice used by r-balanced and
 // r-unbalanced: a uniformly random remaining attribute.
 func randomAttribute(r *rng.RNG) chooser {
-	return func(e *Evaluator, parts []*partition.Partition, attrs []int) (int, []*partition.Partition, float64) {
+	return func(s *matState, attrs []int) (int, *matState) {
 		a := attrs[r.Intn(len(attrs))]
-		children := e.splitAll(parts, a)
-		return a, children, e.AvgPairwise(children)
+		return a, s.probe(a, s.e.cfg.Parallelism, true)
 	}
 }
 
@@ -96,33 +93,33 @@ func balancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Resul
 		attrs = e.Attrs()
 	}
 	res := &Result{Algorithm: name}
-	current := []*partition.Partition{partition.Root(e.ds)}
+	state := newMatState(e, []*partition.Partition{partition.Root(e.ds)})
 	if len(attrs) == 0 {
-		res.Partitioning = &partition.Partitioning{Parts: current}
+		res.Partitioning = &partition.Partitioning{Parts: state.parts}
 		res.Elapsed = time.Since(start)
 		return res
 	}
 
 	// First split is unconditional (lines 1–4 of Algorithm 1).
-	a, children, avg := choose(e, current, attrs)
+	a, children := choose(state, attrs)
 	attrs = remove(attrs, a)
-	current, currentAvg := children, avg
-	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: avg, Partitions: len(children), Accepted: true})
+	state = children
+	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: children.avg, Partitions: len(children.parts), Accepted: true})
 
 	for len(attrs) > 0 {
-		a, children, avg := choose(e, current, attrs)
+		a, children := choose(state, attrs)
 		attrs = remove(attrs, a)
-		step := TraceStep{Attribute: a, AvgDistance: avg, Partitions: len(children)}
-		if currentAvg >= avg {
+		step := TraceStep{Attribute: a, AvgDistance: children.avg, Partitions: len(children.parts)}
+		if state.avg >= children.avg {
 			res.Steps = append(res.Steps, step)
 			break
 		}
 		step.Accepted = true
 		res.Steps = append(res.Steps, step)
-		current, currentAvg = children, avg
+		state = children
 	}
-	res.Partitioning = &partition.Partitioning{Parts: current}
-	res.Unfairness = currentAvg
+	res.Partitioning = &partition.Partitioning{Parts: state.parts}
+	res.Unfairness = state.avg
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -154,42 +151,40 @@ func unbalancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Res
 		return res
 	}
 
-	a, parts, avg := choose(e, []*partition.Partition{root}, attrs)
+	a, parts := choose(newMatState(e, []*partition.Partition{root}), attrs)
 	rest := remove(attrs, a)
-	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: avg, Partitions: len(parts), Accepted: true})
+	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: parts.avg, Partitions: len(parts.parts), Accepted: true})
 
+	// Each recursion node receives its local group as a matState with the
+	// deciding partition first: the group's running average is Algorithm 2's
+	// "current" side, and replaceFirst evaluates the "split" side by delta —
+	// only child–sibling distances are computed fresh.
 	var output []*partition.Partition
-	var recurse func(current *partition.Partition, siblings []*partition.Partition, attrs []int)
-	recurse = func(current *partition.Partition, siblings []*partition.Partition, attrs []int) {
+	var recurse func(group *matState, attrs []int)
+	recurse = func(group *matState, attrs []int) {
+		current := group.parts[0]
 		if len(attrs) == 0 {
 			output = append(output, current)
 			return
 		}
-		group := append([]*partition.Partition{current}, siblings...)
-		currentAvg := e.AvgPairwise(group)
-		a, children, _ := choose(e, []*partition.Partition{current}, attrs)
+		currentAvg := group.avg
+		a, children := choose(group.single(0), attrs)
 		rest := remove(attrs, a)
-		childrenAvg := e.AvgPairwise(append(append([]*partition.Partition{}, children...), siblings...))
-		step := TraceStep{Attribute: a, AvgDistance: childrenAvg, Partitions: len(children)}
-		if currentAvg >= childrenAvg {
+		merged := group.replaceFirst(children)
+		step := TraceStep{Attribute: a, AvgDistance: merged.avg, Partitions: len(children.parts)}
+		if currentAvg >= merged.avg {
 			res.Steps = append(res.Steps, step)
 			output = append(output, current)
 			return
 		}
 		step.Accepted = true
 		res.Steps = append(res.Steps, step)
-		for k, p := range children {
-			others := make([]*partition.Partition, 0, len(children)-1)
-			others = append(others, children[:k]...)
-			others = append(others, children[k+1:]...)
-			recurse(p, others, rest)
+		for x := range children.parts {
+			recurse(children.group(x), rest)
 		}
 	}
-	for k, p := range parts {
-		others := make([]*partition.Partition, 0, len(parts)-1)
-		others = append(others, parts[:k]...)
-		others = append(others, parts[k+1:]...)
-		recurse(p, others, rest)
+	for x := range parts.parts {
+		recurse(parts.group(x), rest)
 	}
 
 	res.Partitioning = &partition.Partitioning{Parts: output}
@@ -205,14 +200,18 @@ func AllAttributes(e *Evaluator, attrs []int) *Result {
 	if attrs == nil {
 		attrs = e.Attrs()
 	}
-	parts := []*partition.Partition{partition.Root(e.ds)}
+	state := newMatState(e, []*partition.Partition{partition.Root(e.ds)})
 	res := &Result{Algorithm: "all-attributes"}
 	for _, a := range attrs {
-		parts = e.splitAll(parts, a)
-		res.Steps = append(res.Steps, TraceStep{Attribute: a, Partitions: len(parts), Accepted: true})
+		// Every split is unconditional, so intermediate averages are never
+		// consulted: scatter-only probes skip the distance work entirely and
+		// the triangle is materialized once at the end.
+		state = state.probe(a, e.cfg.Parallelism, false)
+		res.Steps = append(res.Steps, TraceStep{Attribute: a, Partitions: len(state.parts), Accepted: true})
 	}
-	res.Partitioning = &partition.Partitioning{Parts: parts}
-	res.Unfairness = e.AvgPairwise(parts)
+	state.materialize(e.cfg.Parallelism)
+	res.Partitioning = &partition.Partitioning{Parts: state.parts}
+	res.Unfairness = state.avg
 	if len(res.Steps) > 0 {
 		res.Steps[len(res.Steps)-1].AvgDistance = res.Unfairness
 	}

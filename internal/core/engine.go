@@ -1,0 +1,375 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fairrank/internal/histogram"
+	"fairrank/internal/partition"
+)
+
+// This file implements the incremental pairwise-EMD engine. A matState is
+// one partitioning under evaluation: its parts, their interned dense-handle
+// representations, and the flat upper triangle of pairwise distances whose
+// canonical-order reduction is the partitioning's unfairness. Evolving a
+// state — splitting every part on a candidate attribute (balanced probe),
+// or replacing one part by its children against its siblings (unbalanced
+// decision) — computes only distances that touch changed parts; everything
+// else is copied from the existing triangle. Child representations are
+// derived in the same single pass that scatters the parent's rows
+// (partition.SplitObserve), so probing an attribute never re-touches the
+// score column per child.
+//
+// Invariant: every average is reduced serially in (i, j) pair order over
+// the state's own part ordering, which is exactly the order the from-
+// scratch serial AvgPairwise loop would use — so incremental results are
+// bit-identical to from-scratch serial evaluation regardless of
+// Config.Parallelism.
+type matState struct {
+	e     *Evaluator
+	parts []*partition.Partition
+	reps  []*rep
+	dist  []float64 // upper triangle: pair (i,j), i<j, at tri(k,i,j); nil until materialized
+	avg   float64
+}
+
+// tri maps pair (i, j) with i < j to its slot in the flat upper triangle
+// of a k×k distance matrix.
+func tri(k, i, j int) int { return i*(2*k-i-1)/2 + j - i - 1 }
+
+// avgOf reduces a distance triangle in slot order — the canonical (i, j)
+// serial order — returning 0 when there are no pairs.
+func avgOf(d []float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	return sum / float64(len(d))
+}
+
+// newMatState interns the parts' representations and materializes the
+// full distance triangle (through the shared pair cache), establishing
+// the running pairwise sum that later probes evolve by delta.
+func newMatState(e *Evaluator, parts []*partition.Partition) *matState {
+	k := len(parts)
+	s := &matState{e: e, parts: parts, reps: make([]*rep, k)}
+	for i, p := range parts {
+		s.reps[i] = e.repFor(p)
+	}
+	s.dist = make([]float64, k*(k-1)/2)
+	m := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			s.dist[m] = e.pairOf(s.reps[i], s.reps[j])
+			m++
+		}
+	}
+	s.avg = avgOf(s.dist)
+	return s
+}
+
+// splitPart is the outcome of scatter-splitting one parent: the child
+// partitions, their reps, and whether the split left the content
+// unchanged (single occurring value, or a MinPartitionSize keep-whole) —
+// in which case the sole child aliases the parent's rep and every
+// distance involving it can be copied instead of recomputed.
+type splitPart struct {
+	children []*partition.Partition
+	reps     []*rep
+	aliased  bool
+}
+
+// scatterSplit splits p on attr in a single pass over its rows, deriving
+// each child's representation from the same scan that builds its index
+// slice. Child reps are interned under (parent handle, attr, value) —
+// which fully determines the child's content — so re-probes of the same
+// split are served from the cache without touching the score column.
+func (e *Evaluator) scatterSplit(r *rep, p *partition.Partition, attr int) splitPart {
+	card := e.ds.Schema().Protected[attr].Cardinality()
+	var (
+		counts   [][]float64 // binned mode: per-value count rows
+		vals     [][]float64 // exact mode: per-value score samples
+		children []*partition.Partition
+	)
+	if e.cfg.Exact {
+		vals = make([][]float64, card)
+		children = partition.SplitObserve(e.ds, p, attr, func(v, row int) {
+			vals[v] = append(vals[v], e.scores[row])
+		})
+	} else {
+		counts = make([][]float64, card)
+		bins := e.cfg.Bins
+		children = partition.SplitObserve(e.ds, p, attr, func(v, row int) {
+			c := counts[v]
+			if c == nil {
+				c = make([]float64, bins)
+				counts[v] = c
+			}
+			c[e.binIdx[row]]++
+		})
+	}
+	if e.cfg.MinPartitionSize > 1 {
+		// A split that would create a too-small child keeps the parent
+		// whole, mirroring splitAll.
+		for _, c := range children {
+			if c.Size() < e.cfg.MinPartitionSize {
+				return splitPart{children: []*partition.Partition{p}, reps: []*rep{r}, aliased: true}
+			}
+		}
+	}
+	if len(children) == 1 {
+		// Single occurring value: the child is the parent's content under
+		// one more constraint; alias the parent's rep.
+		return splitPart{children: children, reps: []*rep{r}, aliased: true}
+	}
+	reps := make([]*rep, len(children))
+	for ci, c := range children {
+		v := c.Constraints[len(c.Constraints)-1].Value
+		key := childKey(r.id, attr, v)
+		if cr, ok := e.reps.lookupChild(key); ok {
+			reps[ci] = cr
+			continue
+		}
+		var data []float64
+		if e.cfg.Exact {
+			data = vals[v]
+			sort.Float64s(data)
+		} else {
+			data = histogram.NormalizeCounts(counts[v])
+		}
+		reps[ci] = e.reps.internChild(key, data)
+	}
+	return splitPart{children: children, reps: reps}
+}
+
+// probe evaluates replacing every part with its children under attr — the
+// balanced-round / candidate-attribute operation. Only distances touching
+// changed parts are computed: a pair of two unchanged (aliased) parts
+// copies its distance from this state's triangle. withDist=false skips
+// the distance work entirely for callers that only need the final state
+// (all-attributes); workers bounds the concurrent distance fill.
+func (s *matState) probe(attr, workers int, withDist bool) *matState {
+	e := s.e
+	k := len(s.parts)
+	splits := make([]splitPart, k)
+	for i := range s.parts {
+		splits[i] = e.scatterSplit(s.reps[i], s.parts[i], attr)
+	}
+	nk := 0
+	for i := range splits {
+		nk += len(splits[i].children)
+	}
+	ns := &matState{
+		e:     e,
+		parts: make([]*partition.Partition, 0, nk),
+		reps:  make([]*rep, 0, nk),
+	}
+	parent := make([]int32, 0, nk)
+	aliased := make([]bool, 0, nk)
+	for i := range splits {
+		ns.parts = append(ns.parts, splits[i].children...)
+		ns.reps = append(ns.reps, splits[i].reps...)
+		for range splits[i].children {
+			parent = append(parent, int32(i))
+			aliased = append(aliased, splits[i].aliased)
+		}
+	}
+	if !withDist {
+		return ns
+	}
+	nd := make([]float64, nk*(nk-1)/2)
+	var missing []pairRef
+	m := 0
+	for i := 0; i < nk; i++ {
+		for j := i + 1; j < nk; j++ {
+			if aliased[i] && aliased[j] && s.dist != nil {
+				nd[m] = s.dist[tri(k, int(parent[i]), int(parent[j]))]
+			} else {
+				missing = append(missing, pairRef{int32(m), int32(i), int32(j)})
+			}
+			m++
+		}
+	}
+	if len(missing) > 0 {
+		parfill(len(missing), workers, func(lo, hi int) {
+			for _, t := range missing[lo:hi] {
+				nd[t.slot] = e.distOf(ns.reps[t.i].data, ns.reps[t.j].data)
+			}
+		})
+		e.pairs.misses.Add(int64(len(missing)))
+	}
+	ns.dist = nd
+	ns.avg = avgOf(nd)
+	return ns
+}
+
+// probeAll probes every candidate attribute, fanning the scans across
+// Config.Parallelism goroutines; leftover parallelism is handed to each
+// probe's distance fill. Every probe's summation order is fixed, so the
+// results are identical to a serial scan.
+func (s *matState) probeAll(attrs []int) []*matState {
+	out := make([]*matState, len(attrs))
+	p := s.e.cfg.Parallelism
+	outer := p
+	if outer > len(attrs) {
+		outer = len(attrs)
+	}
+	inner := 1
+	if outer >= 1 && p > outer {
+		inner = p / outer
+	}
+	parforeach(len(attrs), outer, func(x int) {
+		out[x] = s.probe(attrs[x], inner, true)
+	})
+	return out
+}
+
+// single extracts part x as a standalone one-part state, the starting
+// point of the unbalanced local split decision.
+func (s *matState) single(x int) *matState {
+	return &matState{e: s.e, parts: s.parts[x : x+1], reps: s.reps[x : x+1], dist: []float64{}}
+}
+
+// group reorders the state to put part x first — the grouping a child
+// node of the unbalanced recursion evaluates against its local siblings —
+// re-reducing the average in the new canonical order. No distance is
+// recomputed.
+func (s *matState) group(x int) *matState {
+	k := len(s.parts)
+	perm := make([]int, 0, k)
+	perm = append(perm, x)
+	for i := 0; i < k; i++ {
+		if i != x {
+			perm = append(perm, i)
+		}
+	}
+	ns := &matState{
+		e:     s.e,
+		parts: make([]*partition.Partition, k),
+		reps:  make([]*rep, k),
+		dist:  make([]float64, k*(k-1)/2),
+	}
+	for i, pi := range perm {
+		ns.parts[i] = s.parts[pi]
+		ns.reps[i] = s.reps[pi]
+	}
+	m := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			a, b := perm[i], perm[j]
+			if a > b {
+				a, b = b, a
+			}
+			ns.dist[m] = s.dist[tri(k, a, b)]
+			m++
+		}
+	}
+	ns.avg = avgOf(ns.dist)
+	return ns
+}
+
+// replaceFirst evaluates replacing part 0 of the group with the given
+// children state (as produced by probing part 0 alone): the result is
+// ordered [children..., siblings...]. Sibling–sibling pairs copy from
+// this state's triangle and child–child pairs from the children state;
+// only child–sibling pairs are fresh — the unbalanced sibling comparison
+// as a pure delta. A child aliasing part 0's rep copies its sibling
+// distances too.
+func (s *matState) replaceFirst(children *matState) *matState {
+	e := s.e
+	k := len(s.parts)
+	mch := len(children.parts)
+	nk := mch + k - 1
+	ns := &matState{
+		e:     e,
+		parts: make([]*partition.Partition, 0, nk),
+		reps:  make([]*rep, 0, nk),
+	}
+	ns.parts = append(append(ns.parts, children.parts...), s.parts[1:]...)
+	ns.reps = append(append(ns.reps, children.reps...), s.reps[1:]...)
+	nd := make([]float64, nk*(nk-1)/2)
+	fresh := 0
+	m := 0
+	for i := 0; i < nk; i++ {
+		for j := i + 1; j < nk; j++ {
+			switch {
+			case j < mch: // child–child
+				nd[m] = children.dist[tri(mch, i, j)]
+			case i >= mch: // sibling–sibling
+				nd[m] = s.dist[tri(k, i-mch+1, j-mch+1)]
+			case ns.reps[i].id == s.reps[0].id: // aliased child–sibling
+				nd[m] = s.dist[tri(k, 0, j-mch+1)]
+			default: // child–sibling: the only fresh distances
+				nd[m] = e.distOf(ns.reps[i].data, ns.reps[j].data)
+				fresh++
+			}
+			m++
+		}
+	}
+	if fresh > 0 {
+		e.pairs.misses.Add(int64(fresh))
+	}
+	ns.dist = nd
+	ns.avg = avgOf(nd)
+	return ns
+}
+
+// materialize fills the distance triangle of a state produced with
+// withDist=false, computing every pair concurrently when allowed.
+func (s *matState) materialize(workers int) {
+	if s.dist != nil {
+		return
+	}
+	k := len(s.parts)
+	n := k * (k - 1) / 2
+	s.dist = make([]float64, n)
+	pairs := make([]pairRef, n)
+	m := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairs[m] = pairRef{int32(m), int32(i), int32(j)}
+			m++
+		}
+	}
+	parfill(n, workers, func(lo, hi int) {
+		for _, t := range pairs[lo:hi] {
+			s.dist[t.slot] = s.e.distOf(s.reps[t.i].data, s.reps[t.j].data)
+		}
+	})
+	s.e.pairs.misses.Add(int64(n))
+	s.avg = avgOf(s.dist)
+}
+
+// parforeach runs fn(i) for every i in [0, n) across at most `workers`
+// goroutines via a shared work counter; inline when workers <= 1.
+func parforeach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -33,8 +33,11 @@ type Config struct {
 	// Metric selects the histogram distance; MetricEMD (the paper's
 	// choice) by default. Non-EMD metrics ignore Ground.
 	Metric emd.Metric
-	// Parallelism bounds the goroutines used for large pairwise-distance
-	// computations. Defaults to GOMAXPROCS. 1 forces serial evaluation.
+	// Parallelism bounds the goroutines used for candidate-attribute
+	// scans and large pairwise-distance computations. Defaults to
+	// GOMAXPROCS. 1 forces serial evaluation. Results are bit-identical
+	// at every parallelism level: distances are computed concurrently but
+	// always reduced in canonical pair order.
 	Parallelism int
 	// MinPartitionSize blocks splits that would create a partition with
 	// fewer workers than this, both to protect against sampling noise in
@@ -62,20 +65,19 @@ func (c Config) withDefaults() Config {
 }
 
 // Evaluator computes and caches unfairness measurements for one (dataset,
-// scoring function) pair. It is safe for concurrent use.
+// scoring function) pair. It is safe for concurrent use: all caches are
+// sharded, so parallel candidate probes populate and reuse them instead
+// of serializing on a single mutex.
 type Evaluator struct {
 	ds     *dataset.Dataset
 	f      scoring.Func
 	cfg    Config
 	scores []float64
 	unit   float64 // EMD ground distance between adjacent bins
+	binIdx []int   // precomputed histogram bin per worker (binned mode)
 
-	mu     sync.Mutex
-	pmfs   map[string][]float64 // partition key → PMF (binned mode)
-	sorted map[string][]float64 // partition key → sorted scores (exact mode)
-	ids    map[string]uint32    // partition key → dense handle
-	pairs  map[uint64]float64   // packed handle pair → distance
-	calls  int                  // distance computations (cache misses)
+	reps  *repCache
+	pairs *pairCache
 }
 
 // NewEvaluator precomputes all worker scores for f and returns an
@@ -94,10 +96,8 @@ func NewEvaluator(ds *dataset.Dataset, f scoring.Func, cfg Config) (*Evaluator, 
 		f:      f,
 		cfg:    cfg,
 		scores: scoring.Scores(ds, f),
-		pmfs:   map[string][]float64{},
-		sorted: map[string][]float64{},
-		ids:    map[string]uint32{},
-		pairs:  map[uint64]float64{},
+		reps:   newRepCache(),
+		pairs:  newPairCache(),
 	}
 	switch cfg.Ground {
 	case emd.GroundIndex:
@@ -106,6 +106,9 @@ func NewEvaluator(ds *dataset.Dataset, f scoring.Func, cfg Config) (*Evaluator, 
 		}
 	default:
 		e.unit = 1 / float64(cfg.Bins)
+	}
+	if !cfg.Exact {
+		e.binIdx = histogram.MustNew(cfg.Bins, 0, 1).BinIndices(e.scores)
 	}
 	return e, nil
 }
@@ -142,61 +145,29 @@ func (e *Evaluator) Histogram(p *partition.Partition) *histogram.Histogram {
 	return h
 }
 
-// pmfFor returns the cached normalized histogram of a partition together
-// with its dense handle.
-func (e *Evaluator) pmfFor(p *partition.Partition) ([]float64, uint32) {
-	key := p.Key()
-	e.mu.Lock()
-	if pmf, ok := e.pmfs[key]; ok {
-		id := e.ids[key]
-		e.mu.Unlock()
-		return pmf, id
+// buildData materializes the comparison payload of a partition given its
+// row indices: the normalized PMF (binned mode) or the sorted score
+// sample (Exact mode).
+func (e *Evaluator) buildData(indices []int) []float64 {
+	if e.cfg.Exact {
+		s := make([]float64, len(indices))
+		for k, i := range indices {
+			s[k] = e.scores[i]
+		}
+		sort.Float64s(s)
+		return s
 	}
-	e.mu.Unlock()
-
-	pmf := e.Histogram(p).PMF()
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if existing, ok := e.pmfs[key]; ok {
-		return existing, e.ids[key]
+	counts := make([]float64, e.cfg.Bins)
+	for _, i := range indices {
+		counts[e.binIdx[i]]++
 	}
-	id := uint32(len(e.ids))
-	e.pmfs[key] = pmf
-	e.ids[key] = id
-	return pmf, id
+	return histogram.NormalizeCounts(counts)
 }
 
-// sortedFor returns the cached sorted score sample of a partition together
-// with its dense handle (exact mode).
-func (e *Evaluator) sortedFor(p *partition.Partition) ([]float64, uint32) {
-	key := p.Key()
-	e.mu.Lock()
-	if s, ok := e.sorted[key]; ok {
-		id := e.ids[key]
-		e.mu.Unlock()
-		return s, id
-	}
-	e.mu.Unlock()
-
-	s := make([]float64, len(p.Indices))
-	for k, i := range p.Indices {
-		s[k] = e.scores[i]
-	}
-	sort.Float64s(s)
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if existing, ok := e.sorted[key]; ok {
-		return existing, e.ids[key]
-	}
-	id, ok := e.ids[key]
-	if !ok {
-		id = uint32(len(e.ids))
-		e.ids[key] = id
-	}
-	e.sorted[key] = s
-	return s, id
+// repFor interns a partition's representation under its canonical
+// constraint key, returning the dense-handle rep.
+func (e *Evaluator) repFor(p *partition.Partition) *rep {
+	return e.reps.internKey(p.Key(), func() []float64 { return e.buildData(p.Indices) })
 }
 
 // dist computes the configured distance between two PMFs.
@@ -219,6 +190,15 @@ func (e *Evaluator) dist(p, q []float64) float64 {
 	}
 }
 
+// distOf computes the configured distance between two representation
+// payloads (mode-aware), without touching any cache.
+func (e *Evaluator) distOf(p, q []float64) float64 {
+	if e.cfg.Exact {
+		return emd.Exact1DSorted(p, q)
+	}
+	return e.dist(p, q)
+}
+
 func packPair(a, b uint32) uint64 {
 	if a > b {
 		a, b = b, a
@@ -226,100 +206,114 @@ func packPair(a, b uint32) uint64 {
 	return uint64(a)<<32 | uint64(b)
 }
 
-// PairDistance returns the configured distance between two partitions'
-// score distributions, with symmetric caching.
-func (e *Evaluator) PairDistance(a, b *partition.Partition) float64 {
-	var pa, pb []float64
-	var ia, ib uint32
-	if e.cfg.Exact {
-		pa, ia = e.sortedFor(a)
-		pb, ib = e.sortedFor(b)
-	} else {
-		pa, ia = e.pmfFor(a)
-		pb, ib = e.pmfFor(b)
-	}
-	key := packPair(ia, ib)
-	e.mu.Lock()
-	if d, ok := e.pairs[key]; ok {
-		e.mu.Unlock()
+// pairOf returns the distance between two interned representations, with
+// symmetric caching in the sharded pair cache.
+func (e *Evaluator) pairOf(ra, rb *rep) float64 {
+	key := packPair(ra.id, rb.id)
+	if d, ok := e.pairs.get(key); ok {
 		return d
 	}
-	e.mu.Unlock()
-	var d float64
-	if e.cfg.Exact {
-		d = emd.Exact1DSorted(pa, pb)
-	} else {
-		d = e.dist(pa, pb)
-	}
-	e.mu.Lock()
-	e.pairs[key] = d
-	e.calls++
-	e.mu.Unlock()
+	d := e.distOf(ra.data, rb.data)
+	e.pairs.put(key, d)
+	e.pairs.misses.Add(1)
 	return d
 }
 
-// parallelThreshold is the partition count above which AvgPairwise fans the
-// O(k²) pair loop out across goroutines instead of using the pair cache.
-const parallelThreshold = 64
+// PairDistance returns the configured distance between two partitions'
+// score distributions, with symmetric caching.
+func (e *Evaluator) PairDistance(a, b *partition.Partition) float64 {
+	return e.pairOf(e.repFor(a), e.repFor(b))
+}
+
+// parallelFillThreshold is the number of missing pair distances above
+// which AvgPairwise computes them concurrently.
+const parallelFillThreshold = 256
 
 // AvgPairwise computes unfairness(P, f) — the average pairwise distance
 // over all unordered pairs of parts. Fewer than two partitions yield 0.
+//
+// Distances missing from the pair cache are computed concurrently under
+// Config.Parallelism, but the reduction always runs serially in (i, j)
+// pair order, so the result is bit-identical at every parallelism level
+// (and the cache is populated and accounted either way).
 func (e *Evaluator) AvgPairwise(parts []*partition.Partition) float64 {
 	k := len(parts)
 	if k < 2 {
 		return 0
 	}
-	if k < parallelThreshold || e.cfg.Parallelism <= 1 {
-		sum := 0.0
-		for i := 0; i < k; i++ {
-			for j := i + 1; j < k; j++ {
-				sum += e.PairDistance(parts[i], parts[j])
-			}
-		}
-		return sum / float64(k*(k-1)/2)
-	}
-
-	// Large partitionings: resolve the per-partition representations
-	// once, then sum distances in parallel without touching the pair
-	// cache (the cache would be pure mutex contention at this scale).
-	reps := make([][]float64, k)
+	reps := make([]*rep, k)
 	for i, p := range parts {
-		if e.cfg.Exact {
-			reps[i], _ = e.sortedFor(p)
-		} else {
-			reps[i], _ = e.pmfFor(p)
+		reps[i] = e.repFor(p)
+	}
+	return e.avgReps(reps)
+}
+
+// pairRef identifies one missing pair: its slot in the flat triangle
+// plus the two representation indices.
+type pairRef struct {
+	slot, i, j int32
+}
+
+// avgReps is AvgPairwise over already-interned representations.
+func (e *Evaluator) avgReps(reps []*rep) float64 {
+	k := len(reps)
+	n := k * (k - 1) / 2
+	d := make([]float64, n)
+	var missing []pairRef
+	m := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if v, ok := e.pairs.get(packPair(reps[i].id, reps[j].id)); ok {
+				d[m] = v
+			} else {
+				missing = append(missing, pairRef{int32(m), int32(i), int32(j)})
+			}
+			m++
 		}
 	}
-	workers := e.cfg.Parallelism
-	if workers > k {
-		workers = k
-	}
-	sums := make([]float64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := 0.0
-			for i := w; i < k; i += workers {
-				ri := reps[i]
-				for j := i + 1; j < k; j++ {
-					if e.cfg.Exact {
-						local += emd.Exact1DSorted(ri, reps[j])
-					} else {
-						local += e.dist(ri, reps[j])
-					}
-				}
+	if len(missing) > 0 {
+		parfill(len(missing), e.cfg.Parallelism, func(lo, hi int) {
+			for _, t := range missing[lo:hi] {
+				ri, rj := reps[t.i], reps[t.j]
+				v := e.distOf(ri.data, rj.data)
+				d[t.slot] = v
+				e.pairs.put(packPair(ri.id, rj.id), v)
 			}
-			sums[w] = local
-		}(w)
+		})
+		e.pairs.misses.Add(int64(len(missing)))
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// parfill runs fn over the contiguous chunks of [0, n), fanning out to at
+// most `workers` goroutines; small workloads run inline. Chunks are
+// disjoint, so fn may write to shared slices without synchronization.
+func parfill(n, workers int, fn func(lo, hi int)) {
+	if workers > n/parallelFillThreshold {
+		workers = n / parallelFillThreshold
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
-	sum := 0.0
-	for _, s := range sums {
-		sum += s
-	}
-	return sum / float64(k*(k-1)/2)
 }
 
 // Unfairness evaluates a whole Partitioning (Definition 2).
@@ -356,9 +350,10 @@ func (e *Evaluator) splitAll(parts []*partition.Partition, attr int) []*partitio
 	return out
 }
 
-// CacheStats reports cache sizes, used by the ablation benchmarks.
+// CacheStats reports cache sizes, used by the ablation benchmarks:
+// distinct partition representations materialized, pair distances held in
+// the shared cache, and total distance computations (cache misses plus
+// probe-local incremental evaluations).
 func (e *Evaluator) CacheStats() (histograms, pairs, misses int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.pmfs), len(e.pairs), e.calls
+	return e.reps.count(), e.pairs.len(), int(e.pairs.misses.Load())
 }

@@ -141,7 +141,8 @@ func TestAvgPairwiseDegenerate(t *testing.T) {
 }
 
 func TestAvgPairwiseSerialMatchesParallel(t *testing.T) {
-	// Force a partitioning with > parallelThreshold parts by using a
+	// Force a partitioning with enough parts that the missing-pair fill
+	// actually fans out (well past parallelFillThreshold pairs), using a
 	// schema with one high-cardinality attribute.
 	schema := &dataset.Schema{
 		Protected: []dataset.Attribute{dataset.Num("Cell", 0, 1, 100)},
@@ -161,13 +162,60 @@ func TestAvgPairwiseSerialMatchesParallel(t *testing.T) {
 	serial, _ := NewEvaluator(ds, f, Config{Parallelism: 1})
 	par, _ := NewEvaluator(ds, f, Config{Parallelism: 4})
 	parts := partition.Split(ds, partition.Root(ds), 0)
-	if len(parts) < parallelThreshold {
-		t.Fatalf("only %d parts; need >= %d for this test", len(parts), parallelThreshold)
+	if pairs := len(parts) * (len(parts) - 1) / 2; pairs < parallelFillThreshold {
+		t.Fatalf("only %d pairs; need >= %d for this test", pairs, parallelFillThreshold)
 	}
 	a := serial.AvgPairwise(parts)
 	b2 := par.AvgPairwise(parts)
-	if math.Abs(a-b2) > 1e-9 {
-		t.Fatalf("serial %v != parallel %v", a, b2)
+	if a != b2 {
+		t.Fatalf("serial %v != parallel %v (must be bit-identical)", a, b2)
+	}
+}
+
+func TestCacheStatsParallelAccounting(t *testing.T) {
+	// The old evaluator's parallel branch bypassed the pair cache and never
+	// counted its distance computations, so CacheStats lied for exactly the
+	// runs the ablation benchmarks care about. Pin the fixed behavior: a
+	// parallel AvgPairwise over many parts populates the cache and counts
+	// every computed distance as a miss, and a repeat run computes nothing.
+	schema := &dataset.Schema{
+		Protected: []dataset.Attribute{dataset.Num("Cell", 0, 1, 100)},
+		Observed:  []dataset.Attribute{dataset.Num("Score", 0, 1, 1)},
+	}
+	r := rng.New(5)
+	b := dataset.NewBuilder(schema)
+	for i := 0; i < 2000; i++ {
+		b.Add("w", map[string]any{"Cell": r.Float64()}, map[string]any{"Score": r.Float64()})
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := scoring.ScoreFunc{FuncName: "s", Fn: func(ds *dataset.Dataset, i int) float64 { return ds.Observed(0, i) }}
+	e, err := NewEvaluator(ds, f, Config{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := partition.Split(ds, partition.Root(ds), 0)
+	k := len(parts)
+	if k < 64 {
+		t.Fatalf("only %d parts; need a large partitioning", k)
+	}
+	_ = e.AvgPairwise(parts)
+	wantPairs := k * (k - 1) / 2
+	hists, pairs, misses := e.CacheStats()
+	if hists != k {
+		t.Errorf("histograms = %d, want %d", hists, k)
+	}
+	if pairs != wantPairs {
+		t.Errorf("cached pairs = %d, want %d", pairs, wantPairs)
+	}
+	if misses != wantPairs {
+		t.Errorf("misses = %d, want %d", misses, wantPairs)
+	}
+	_ = e.AvgPairwise(parts)
+	if _, _, again := e.CacheStats(); again != misses {
+		t.Errorf("repeat run computed %d new distances, want 0", again-misses)
 	}
 }
 

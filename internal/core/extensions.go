@@ -26,42 +26,61 @@ func Beam(e *Evaluator, attrs []int, width int) (*Result, error) {
 		attrs = e.Attrs()
 	}
 	type state struct {
-		parts []*partition.Partition
-		avg   float64
-		left  []int
+		st   *matState
+		left []int
 	}
 	res := &Result{Algorithm: "beam"}
-	root := []*partition.Partition{partition.Root(e.ds)}
-	frontier := []state{{parts: root, avg: 0, left: attrs}}
+	frontier := []state{{st: newMatState(e, []*partition.Partition{partition.Root(e.ds)}), left: attrs}}
 	best := frontier[0]
 
 	for {
-		var next []state
+		// Expand every (frontier state, remaining attribute) pair. The
+		// expansions are independent incremental probes, so they fan out
+		// across Config.Parallelism; results land at fixed slots and every
+		// probe reduces in canonical order, keeping the search identical to
+		// a serial run.
+		type task struct {
+			st   *matState
+			a    int
+			left []int
+		}
+		var tasks []task
 		for _, s := range frontier {
 			for _, a := range s.left {
-				children := e.splitAll(s.parts, a)
-				avg := e.AvgPairwise(children)
-				next = append(next, state{parts: children, avg: avg, left: remove(s.left, a)})
+				tasks = append(tasks, task{st: s.st, a: a, left: s.left})
 			}
 		}
-		if len(next) == 0 {
+		if len(tasks) == 0 {
 			break
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].avg > next[j].avg })
+		p := e.cfg.Parallelism
+		inner := 1
+		if p > len(tasks) {
+			inner = p / len(tasks)
+		}
+		probes := make([]*matState, len(tasks))
+		parforeach(len(tasks), p, func(i int) {
+			probes[i] = tasks[i].st.probe(tasks[i].a, inner, true)
+		})
+		next := make([]state, len(tasks))
+		for i, t := range tasks {
+			next[i] = state{st: probes[i], left: remove(t.left, t.a)}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].st.avg > next[j].st.avg })
 		if len(next) > width {
 			next = next[:width]
 		}
 		improved := false
 		for _, s := range next {
-			if s.avg > best.avg {
+			if s.st.avg > best.st.avg {
 				best = s
 				improved = true
 			}
 		}
 		res.Steps = append(res.Steps, TraceStep{
 			Attribute:   -1,
-			AvgDistance: next[0].avg,
-			Partitions:  len(next[0].parts),
+			AvgDistance: next[0].st.avg,
+			Partitions:  len(next[0].st.parts),
 			Accepted:    improved,
 		})
 		if !improved {
@@ -69,8 +88,8 @@ func Beam(e *Evaluator, attrs []int, width int) (*Result, error) {
 		}
 		frontier = next
 	}
-	res.Partitioning = &partition.Partitioning{Parts: best.parts}
-	res.Unfairness = best.avg
+	res.Partitioning = &partition.Partitioning{Parts: best.st.parts}
+	res.Unfairness = best.st.avg
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -80,6 +80,42 @@ func (h *Histogram) BinIndex(v float64) int {
 	return i
 }
 
+// BinIndices maps every value in vs to its bin index under h's binning in
+// one pass, using exactly the BinIndex clamping rules. Scatter paths use
+// this to pre-bin a score column once and then bucket observations with
+// pure integer arithmetic, instead of re-deriving the bin per pass.
+func (h *Histogram) BinIndices(vs []float64) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = h.BinIndex(v)
+	}
+	return out
+}
+
+// NormalizeCounts converts one raw count row — as accumulated by a
+// single-pass scatter split — into the PMF that a Histogram holding the
+// same counts would return: counts/total, or uniform when the row holds
+// no mass. Shared so scatter-built child PMFs are bit-identical to
+// Histogram.PMF.
+func NormalizeCounts(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		u := 1 / float64(len(counts))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i, c := range counts {
+		out[i] = c / total
+	}
+	return out
+}
+
 // BinCenter returns the value at the center of bin i.
 func (h *Histogram) BinCenter(i int) float64 {
 	return h.min + (float64(i)+0.5)*h.BinWidth()

@@ -273,3 +273,35 @@ func TestString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestBinIndices(t *testing.T) {
+	h := MustNew(10, 0, 1)
+	vs := []float64{-0.5, 0, 0.05, 0.55, 0.999, 1, 1.5, math.NaN()}
+	got := h.BinIndices(vs)
+	for i, v := range vs {
+		if got[i] != h.BinIndex(v) {
+			t.Errorf("BinIndices[%d] = %d, BinIndex(%v) = %d", i, got[i], v, h.BinIndex(v))
+		}
+	}
+}
+
+func TestNormalizeCountsMatchesPMF(t *testing.T) {
+	h := MustNew(5, 0, 1)
+	vs := []float64{0.1, 0.1, 0.3, 0.7, 0.95, 0.95, 0.95}
+	h.AddAll(vs)
+	got := NormalizeCounts(h.Counts())
+	want := h.PMF()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bin %d: NormalizeCounts = %v, PMF = %v", i, got[i], want[i])
+		}
+	}
+	// Empty counts normalize to the same uniform fallback as an empty PMF.
+	empty := NormalizeCounts(make([]float64, 5))
+	uniform := MustNew(5, 0, 1).PMF()
+	for i := range uniform {
+		if empty[i] != uniform[i] {
+			t.Errorf("empty bin %d: %v != %v", i, empty[i], uniform[i])
+		}
+	}
+}

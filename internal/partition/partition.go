@@ -97,11 +97,30 @@ func (p *Partition) Label(schema *dataset.Schema) string {
 // the new one. Empty children are not returned; the union of the children
 // is exactly p.
 func Split(ds *dataset.Dataset, p *Partition, attr int) []*Partition {
+	return SplitObserve(ds, p, attr, nil)
+}
+
+// SplitObserve is Split with a single-pass scatter hook: when observe is
+// non-nil it is invoked as observe(v, i) for every row i of p while the
+// row is bucketed under attribute value v, letting callers accumulate
+// per-child state (score histograms, running sums) in the same scan that
+// builds the child index slices, instead of re-walking each child
+// afterwards. The returned children are exactly Split's: one per value of
+// attr that occurs in p, in ascending value order, empty children elided.
+func SplitObserve(ds *dataset.Dataset, p *Partition, attr int, observe func(value, row int)) []*Partition {
 	card := ds.Schema().Protected[attr].Cardinality()
 	buckets := make([][]int, card)
-	for _, i := range p.Indices {
-		c := ds.Code(attr, i)
-		buckets[c] = append(buckets[c], i)
+	if observe == nil {
+		for _, i := range p.Indices {
+			c := ds.Code(attr, i)
+			buckets[c] = append(buckets[c], i)
+		}
+	} else {
+		for _, i := range p.Indices {
+			c := ds.Code(attr, i)
+			buckets[c] = append(buckets[c], i)
+			observe(c, i)
+		}
 	}
 	var out []*Partition
 	for v, idx := range buckets {
