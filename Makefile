@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify
+.PHONY: build test bench bench-monitor verify
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,15 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
+# Streaming-monitor benchmarks: per-event delta maintenance vs the
+# from-scratch recompute baseline, across group counts.
+bench-monitor:
+	$(GO) test -run '^$$' -bench 'BenchmarkMonitor' -benchmem ./internal/monitor/
+
 # verify is the gate for changes to the evaluation engine: static checks
-# plus the race detector over the packages the incremental engine spans.
+# plus the race detector over the packages the session layer spans — the
+# engine, the enumeration space, the streaming monitor, and the HTTP
+# surface that routes request contexts into them.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/partition/...
+	$(GO) test -race ./internal/core/... ./internal/partition/... ./internal/monitor/... ./internal/server/...

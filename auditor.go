@@ -1,6 +1,7 @@
 package fairrank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,7 +9,6 @@ import (
 	"fairrank/internal/explain"
 	"fairrank/internal/partition"
 	"fairrank/internal/repair"
-	"fairrank/internal/rng"
 )
 
 // AttributeImportance quantifies one protected attribute's contribution to
@@ -44,6 +44,11 @@ const (
 var Algorithms = []Algorithm{
 	AlgoUnbalanced, AlgoRUnbalanced, AlgoBalanced, AlgoRBalanced, AlgoAllAttributes,
 }
+
+// RegisteredAlgorithms returns every algorithm name the engine registry
+// knows, sorted — the authoritative set Audit accepts (a superset of
+// Algorithms that includes the exact solvers).
+func RegisteredAlgorithms() []string { return core.Algorithms() }
 
 // Auditor runs fairness audits with a fixed measurement configuration.
 // The zero value is not ready; use NewAuditor.
@@ -83,12 +88,26 @@ func NewAuditor(opts ...Option) *Auditor {
 // Audit searches for the most unfair partitioning of ds under f using the
 // given algorithm, over all protected attributes.
 func (a *Auditor) Audit(ds *Dataset, f ScoringFunc, algo Algorithm) (*Result, error) {
-	return a.AuditAttrs(ds, f, algo, nil)
+	return a.AuditAttrsContext(context.Background(), ds, f, algo, nil)
+}
+
+// AuditContext is Audit under a context: cancellation or a deadline aborts
+// the search promptly, returning ctx.Err().
+func (a *Auditor) AuditContext(ctx context.Context, ds *Dataset, f ScoringFunc, algo Algorithm) (*Result, error) {
+	return a.AuditAttrsContext(ctx, ds, f, algo, nil)
 }
 
 // AuditAttrs is Audit restricted to a subset of protected attributes,
 // given by name. attrs nil means all protected attributes.
 func (a *Auditor) AuditAttrs(ds *Dataset, f ScoringFunc, algo Algorithm, attrs []string) (*Result, error) {
+	return a.AuditAttrsContext(context.Background(), ds, f, algo, attrs)
+}
+
+// AuditAttrsContext is AuditAttrs under a context. All Audit variants
+// funnel into core.Run here; the algorithm name is resolved against the
+// engine registry, so any registered algorithm — including ones not listed
+// in Algorithms — is accepted.
+func (a *Auditor) AuditAttrsContext(ctx context.Context, ds *Dataset, f ScoringFunc, algo Algorithm, attrs []string) (*Result, error) {
 	e, err := core.NewEvaluator(ds, f, a.cfg)
 	if err != nil {
 		return nil, err
@@ -104,22 +123,13 @@ func (a *Auditor) AuditAttrs(ds *Dataset, f ScoringFunc, algo Algorithm, attrs [
 			idx = append(idx, i)
 		}
 	}
-	switch algo {
-	case AlgoBalanced:
-		return core.Balanced(e, idx), nil
-	case AlgoUnbalanced:
-		return core.Unbalanced(e, idx), nil
-	case AlgoRBalanced:
-		return core.RBalanced(e, idx, rng.New(a.seed)), nil
-	case AlgoRUnbalanced:
-		return core.RUnbalanced(e, idx, rng.New(a.seed+1)), nil
-	case AlgoAllAttributes:
-		return core.AllAttributes(e, idx), nil
-	case AlgoExhaustive:
-		return core.Exhaustive(e, idx, a.exhaustiveBudget)
-	default:
-		return nil, fmt.Errorf("fairrank: unknown algorithm %q", algo)
-	}
+	return core.Run(ctx, core.Spec{
+		Algorithm: string(algo),
+		Evaluator: e,
+		Attrs:     idx,
+		Seed:      a.seed,
+		Budget:    a.exhaustiveBudget,
+	})
 }
 
 // AuditAll runs every algorithm in Algorithms and returns the results in

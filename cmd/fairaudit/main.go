@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,13 +21,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
 	"fairrank/internal/emd"
 	"fairrank/internal/explain"
 	"fairrank/internal/report"
-	"fairrank/internal/rng"
 	"fairrank/internal/scoring"
 	"fairrank/internal/simulate"
 )
@@ -38,7 +39,7 @@ func main() {
 		dataFile = flag.String("data", "", "CSV dataset in the paper's schema (mutually exclusive with -gen)")
 		gen      = flag.Int("gen", 0, "generate this many synthetic workers instead of loading -data")
 		seed     = flag.Uint64("seed", 42, "seed for generation and random baselines")
-		algo     = flag.String("algo", "balanced", "algorithm: balanced|unbalanced|r-balanced|r-unbalanced|all-attributes")
+		algo     = flag.String("algo", "balanced", "algorithm: "+strings.Join(core.Algorithms(), "|"))
 		alpha    = flag.Float64("alpha", 0.5, "weight of LanguageTest in f = α·LanguageTest + (1-α)·ApprovalRate")
 		weights  = flag.String("weights", "", "explicit weights, e.g. \"LanguageTest=0.7,ApprovalRate=0.3\" (overrides -alpha)")
 		bins     = flag.Int("bins", 10, "histogram bins")
@@ -52,16 +53,17 @@ func main() {
 		obs      = flag.String("observed", "", "infer schema from -data: comma-separated observed columns")
 		idCol    = flag.String("id", "", "infer schema from -data: worker-id column (default row numbers)")
 		describe = flag.Bool("describe", false, "print a population profile before auditing")
+		timeout  = flag.Duration("timeout", 0, "abort the audit after this long (0 = no deadline)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe); err != nil {
+	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha float64,
 	weightSpec string, bins int, metricName, attrSpec string, figure, tree bool, sigRounds int, explainAttrs bool,
-	protCols, obsCols, idCol string, describe bool) error {
+	protCols, obsCols, idCol string, describe bool, timeout time.Duration) error {
 
 	ds, err := loadDataset(dataFile, gen, seed, protCols, obsCols, idCol)
 	if err != nil {
@@ -90,20 +92,20 @@ func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha 
 		return err
 	}
 
-	var res *core.Result
-	switch algo {
-	case "balanced":
-		res = core.Balanced(e, attrIdx)
-	case "unbalanced":
-		res = core.Unbalanced(e, attrIdx)
-	case "r-balanced":
-		res = core.RBalanced(e, attrIdx, rng.New(seed))
-	case "r-unbalanced":
-		res = core.RUnbalanced(e, attrIdx, rng.New(seed))
-	case "all-attributes":
-		res = core.AllAttributes(e, attrIdx)
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := core.Run(ctx, core.Spec{
+		Algorithm: algo,
+		Evaluator: e,
+		Attrs:     attrIdx,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(w, "dataset: %d workers; function: %s; metric: %s, %d bins\n",

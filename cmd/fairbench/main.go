@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -250,7 +251,11 @@ func runSweep(w io.Writer, workers int, seed uint64, bins, points int) error {
 		if err != nil {
 			return err
 		}
-		values[i] = core.Balanced(e, nil).Unfairness
+		res, err := core.Run(context.Background(), core.Spec{Evaluator: e})
+		if err != nil {
+			return err
+		}
+		values[i] = res.Unfairness
 		if values[i] > maxU {
 			maxU = values[i]
 		}
@@ -274,7 +279,10 @@ func runFigure1(w io.Writer, bins int) error {
 	}
 	fmt.Fprintln(w, "Figure 1 toy example: 10 workers, attributes Gender and Language")
 	fmt.Fprintln(w)
-	res := core.Unbalanced(e, nil)
+	res, err := core.Run(context.Background(), core.Spec{Algorithm: "unbalanced", Evaluator: e})
+	if err != nil {
+		return err
+	}
 	if err := report.Tree(w, e, res); err != nil {
 		return err
 	}
@@ -282,7 +290,7 @@ func runFigure1(w io.Writer, bins int) error {
 	if err := report.Partitioning(w, e, res.Partitioning); err != nil {
 		return err
 	}
-	ex, err := core.Exhaustive(e, nil, 10000)
+	ex, err := core.Run(context.Background(), core.Spec{Algorithm: "exhaustive", Evaluator: e, Budget: 10000})
 	if err != nil {
 		return err
 	}
@@ -317,13 +325,17 @@ func runExhaustiveDemo(w io.Writer, seed uint64, bins int) error {
 	if err != nil {
 		return err
 	}
-	if _, err := core.Exhaustive(e, nil, 1_000_000); err != nil {
+	if _, err := core.Run(context.Background(), core.Spec{
+		Algorithm: "exhaustive", Evaluator: e, Budget: 1_000_000,
+	}); err != nil {
 		fmt.Fprintf(w, "exhaustive over all 6 attributes: %v (as in the paper, which\n"+
 			"reports the brute-force solver failed to terminate in two days)\n", err)
 	} else {
 		fmt.Fprintln(w, "exhaustive unexpectedly finished — budget too generous?")
 	}
-	res, err := core.Exhaustive(e, []int{0, 1}, 1_000_000)
+	res, err := core.Run(context.Background(), core.Spec{
+		Algorithm: "exhaustive", Evaluator: e, Attrs: []int{0, 1}, Budget: 1_000_000,
+	})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package fairrank
 
 import (
+	"context"
 	"io"
 
 	"fairrank/internal/campaign"
@@ -54,6 +55,11 @@ type (
 	// Evaluator computes (and caches) unfairness for one dataset/function
 	// pair; most callers use Auditor instead.
 	Evaluator = core.Evaluator
+	// AuditSpec describes one audit run for Run: which algorithm, over
+	// which evaluator, with what seed and budget.
+	AuditSpec = core.Spec
+	// RunStats reports the engine work one audit performed.
+	RunStats = core.RunStats
 
 	// Metric identifies a histogram distance (EMD by default).
 	Metric = emd.Metric
@@ -179,6 +185,13 @@ func NewEvaluator(ds *Dataset, f ScoringFunc, cfg Config) (*Evaluator, error) {
 	return core.NewEvaluator(ds, f, cfg)
 }
 
+// Run executes one audit described by spec under ctx: cancelling ctx (or
+// exceeding its deadline) aborts the search and returns ctx.Err(). The
+// algorithm is selected by registered name; see RegisteredAlgorithms.
+func Run(ctx context.Context, spec AuditSpec) (*Result, error) {
+	return core.Run(ctx, spec)
+}
+
 // CampaignOptions configures an audit campaign over many scoring
 // functions.
 type CampaignOptions = campaign.Options
@@ -193,6 +206,12 @@ type FunctionAudit = campaign.FunctionAudit
 // Results are in input order.
 func RunCampaign(ds *Dataset, funcs []ScoringFunc, opts CampaignOptions) ([]FunctionAudit, error) {
 	return campaign.Run(ds, funcs, opts)
+}
+
+// RunCampaignContext is RunCampaign under a context: cancelling ctx aborts
+// every in-flight function audit and returns ctx.Err().
+func RunCampaignContext(ctx context.Context, ds *Dataset, funcs []ScoringFunc, opts CampaignOptions) ([]FunctionAudit, error) {
+	return campaign.RunContext(ctx, ds, funcs, opts)
 }
 
 // Query is a compiled requester query: a boolean expression over worker

@@ -7,14 +7,13 @@
 package campaign
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
-	"fairrank/internal/rng"
 	"fairrank/internal/scoring"
 	"fairrank/internal/stats"
 )
@@ -23,8 +22,8 @@ import (
 type Options struct {
 	// Config tunes the unfairness evaluator.
 	Config core.Config
-	// Algorithm selects the search algorithm: "balanced" (default),
-	// "unbalanced" or "all-attributes".
+	// Algorithm selects the search algorithm by registered name
+	// ("balanced" by default; see core.Algorithms for the full set).
 	Algorithm string
 	// Rounds is the permutation-test round count per function
 	// (default 200).
@@ -60,6 +59,12 @@ type FunctionAudit struct {
 // FunctionAudit per function, in input order, with campaign-wide FDR
 // control applied to the Significant flags.
 func Run(ds *dataset.Dataset, funcs []scoring.Func, opts Options) ([]FunctionAudit, error) {
+	return RunContext(context.Background(), ds, funcs, opts)
+}
+
+// RunContext is Run under a context: cancelling ctx aborts every in-flight
+// function audit and returns ctx.Err().
+func RunContext(ctx context.Context, ds *dataset.Dataset, funcs []scoring.Func, opts Options) ([]FunctionAudit, error) {
 	if ds == nil || ds.N() == 0 {
 		return nil, errors.New("campaign: empty population")
 	}
@@ -78,6 +83,10 @@ func Run(ds *dataset.Dataset, funcs []scoring.Func, opts Options) ([]FunctionAud
 	if opts.Algorithm == "" {
 		opts.Algorithm = "balanced"
 	}
+	// Fail fast on an unknown algorithm before fanning out any work.
+	if _, err := core.Lookup(opts.Algorithm); err != nil {
+		return nil, err
+	}
 
 	audits := make([]FunctionAudit, len(funcs))
 	errs := make([]error, len(funcs))
@@ -89,7 +98,7 @@ func Run(ds *dataset.Dataset, funcs []scoring.Func, opts Options) ([]FunctionAud
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			audits[i], errs[i] = auditOne(ds, f, opts, opts.Seed+uint64(i)*7919)
+			audits[i], errs[i] = auditOne(ctx, ds, f, opts, opts.Seed+uint64(i)*7919)
 		}(i, f)
 	}
 	wg.Wait()
@@ -113,25 +122,18 @@ func Run(ds *dataset.Dataset, funcs []scoring.Func, opts Options) ([]FunctionAud
 	return audits, nil
 }
 
-func auditOne(ds *dataset.Dataset, f scoring.Func, opts Options, seed uint64) (FunctionAudit, error) {
+func auditOne(ctx context.Context, ds *dataset.Dataset, f scoring.Func, opts Options, seed uint64) (FunctionAudit, error) {
 	e, err := core.NewEvaluator(ds, f, opts.Config)
 	if err != nil {
 		return FunctionAudit{}, err
 	}
-	var res *core.Result
-	switch opts.Algorithm {
-	case "balanced":
-		res = core.Balanced(e, nil)
-	case "unbalanced":
-		res = core.Unbalanced(e, nil)
-	case "all-attributes":
-		res = core.AllAttributes(e, nil)
-	case "r-balanced":
-		res = core.RBalanced(e, nil, rng.New(seed))
-	case "r-unbalanced":
-		res = core.RUnbalanced(e, nil, rng.New(seed))
-	default:
-		return FunctionAudit{}, fmt.Errorf("campaign: unknown algorithm %q", opts.Algorithm)
+	res, err := core.Run(ctx, core.Spec{
+		Algorithm: opts.Algorithm,
+		Evaluator: e,
+		Seed:      seed,
+	})
+	if err != nil {
+		return FunctionAudit{}, err
 	}
 	p, _, err := core.Significance(e, res.Partitioning, opts.Rounds, seed)
 	if err != nil {

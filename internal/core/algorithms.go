@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"fairrank/internal/partition"
@@ -19,6 +20,9 @@ type Result struct {
 	Elapsed time.Duration
 	// Steps traces the splitting decisions for explainability.
 	Steps []TraceStep
+	// Stats reports the engine work this run performed; populated by
+	// Run, zero when an algorithm function is called directly.
+	Stats RunStats
 }
 
 // TraceStep records one splitting decision.
@@ -78,50 +82,69 @@ func remove(attrs []int, a int) []int {
 // Balanced runs Algorithm 1: repeatedly split every current partition on
 // the worst remaining attribute, stopping when the average pairwise
 // distance no longer improves. attrs nil means all protected attributes.
+//
+// Balanced, Unbalanced and the other exported algorithm functions are the
+// uncancellable direct entry points; session consumers go through Run,
+// which adds context cancellation, progress callbacks and per-run stats.
 func Balanced(e *Evaluator, attrs []int) *Result {
-	return balancedWith(e, attrs, worstAttribute, "balanced")
+	res, _ := balancedWith(context.Background(), e, attrs, worstAttribute, "balanced", nil)
+	return res
 }
 
 // RBalanced is Balanced with random attribute choice (baseline).
 func RBalanced(e *Evaluator, attrs []int, r *rng.RNG) *Result {
-	return balancedWith(e, attrs, randomAttribute(r), "r-balanced")
+	res, _ := balancedWith(context.Background(), e, attrs, randomAttribute(r), "r-balanced", nil)
+	return res
 }
 
-func balancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Result {
+func balancedWith(ctx context.Context, e *Evaluator, attrs []int, choose chooser, name string, progress func(TraceStep)) (*Result, error) {
 	start := time.Now()
 	if attrs == nil {
 		attrs = e.Attrs()
 	}
 	res := &Result{Algorithm: name}
+	emit := func(step TraceStep) {
+		res.Steps = append(res.Steps, step)
+		if progress != nil {
+			progress(step)
+		}
+	}
 	state := newMatState(e, []*partition.Partition{partition.Root(e.ds)})
+	state.ctx = ctx
 	if len(attrs) == 0 {
 		res.Partitioning = &partition.Partitioning{Parts: state.parts}
 		res.Elapsed = time.Since(start)
-		return res
+		return res, nil
 	}
 
 	// First split is unconditional (lines 1–4 of Algorithm 1).
 	a, children := choose(state, attrs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	attrs = remove(attrs, a)
 	state = children
-	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: children.avg, Partitions: len(children.parts), Accepted: true})
+	emit(TraceStep{Attribute: a, AvgDistance: children.avg, Partitions: len(children.parts), Accepted: true})
 
 	for len(attrs) > 0 {
 		a, children := choose(state, attrs)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		attrs = remove(attrs, a)
 		step := TraceStep{Attribute: a, AvgDistance: children.avg, Partitions: len(children.parts)}
 		if state.avg >= children.avg {
-			res.Steps = append(res.Steps, step)
+			emit(step)
 			break
 		}
 		step.Accepted = true
-		res.Steps = append(res.Steps, step)
+		emit(step)
 		state = children
 	}
 	res.Partitioning = &partition.Partitioning{Parts: state.parts}
 	res.Unfairness = state.avg
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // Unbalanced runs Algorithm 2: after an initial split on the worst
@@ -130,93 +153,133 @@ func balancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Resul
 // pairwise distance against its siblings. attrs nil means all protected
 // attributes.
 func Unbalanced(e *Evaluator, attrs []int) *Result {
-	return unbalancedWith(e, attrs, worstAttribute, "unbalanced")
+	res, _ := unbalancedWith(context.Background(), e, attrs, worstAttribute, "unbalanced", nil)
+	return res
 }
 
 // RUnbalanced is Unbalanced with random attribute choice (baseline).
 func RUnbalanced(e *Evaluator, attrs []int, r *rng.RNG) *Result {
-	return unbalancedWith(e, attrs, randomAttribute(r), "r-unbalanced")
+	res, _ := unbalancedWith(context.Background(), e, attrs, randomAttribute(r), "r-unbalanced", nil)
+	return res
 }
 
-func unbalancedWith(e *Evaluator, attrs []int, choose chooser, name string) *Result {
+func unbalancedWith(ctx context.Context, e *Evaluator, attrs []int, choose chooser, name string, progress func(TraceStep)) (*Result, error) {
 	start := time.Now()
 	if attrs == nil {
 		attrs = e.Attrs()
 	}
 	res := &Result{Algorithm: name}
+	emit := func(step TraceStep) {
+		res.Steps = append(res.Steps, step)
+		if progress != nil {
+			progress(step)
+		}
+	}
 	root := partition.Root(e.ds)
 	if len(attrs) == 0 {
 		res.Partitioning = &partition.Partitioning{Parts: []*partition.Partition{root}}
 		res.Elapsed = time.Since(start)
-		return res
+		return res, nil
 	}
 
-	a, parts := choose(newMatState(e, []*partition.Partition{root}), attrs)
+	first := newMatState(e, []*partition.Partition{root})
+	first.ctx = ctx
+	a, parts := choose(first, attrs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rest := remove(attrs, a)
-	res.Steps = append(res.Steps, TraceStep{Attribute: a, AvgDistance: parts.avg, Partitions: len(parts.parts), Accepted: true})
+	emit(TraceStep{Attribute: a, AvgDistance: parts.avg, Partitions: len(parts.parts), Accepted: true})
 
 	// Each recursion node receives its local group as a matState with the
 	// deciding partition first: the group's running average is Algorithm 2's
 	// "current" side, and replaceFirst evaluates the "split" side by delta —
 	// only child–sibling distances are computed fresh.
 	var output []*partition.Partition
-	var recurse func(group *matState, attrs []int)
-	recurse = func(group *matState, attrs []int) {
+	var recurse func(group *matState, attrs []int) error
+	recurse = func(group *matState, attrs []int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		current := group.parts[0]
 		if len(attrs) == 0 {
 			output = append(output, current)
-			return
+			return nil
 		}
 		currentAvg := group.avg
 		a, children := choose(group.single(0), attrs)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rest := remove(attrs, a)
 		merged := group.replaceFirst(children)
 		step := TraceStep{Attribute: a, AvgDistance: merged.avg, Partitions: len(children.parts)}
 		if currentAvg >= merged.avg {
-			res.Steps = append(res.Steps, step)
+			emit(step)
 			output = append(output, current)
-			return
+			return nil
 		}
 		step.Accepted = true
-		res.Steps = append(res.Steps, step)
+		emit(step)
 		for x := range children.parts {
-			recurse(children.group(x), rest)
+			if err := recurse(children.group(x), rest); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 	for x := range parts.parts {
-		recurse(parts.group(x), rest)
+		if err := recurse(parts.group(x), rest); err != nil {
+			return nil, err
+		}
 	}
 
 	res.Partitioning = &partition.Partitioning{Parts: output}
 	res.Unfairness = e.AvgPairwise(output)
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // AllAttributes is the full-partitioning baseline: split on every protected
 // attribute unconditionally.
 func AllAttributes(e *Evaluator, attrs []int) *Result {
+	res, _ := allAttributesCtx(context.Background(), e, attrs, nil)
+	return res
+}
+
+func allAttributesCtx(ctx context.Context, e *Evaluator, attrs []int, progress func(TraceStep)) (*Result, error) {
 	start := time.Now()
 	if attrs == nil {
 		attrs = e.Attrs()
 	}
 	state := newMatState(e, []*partition.Partition{partition.Root(e.ds)})
+	state.ctx = ctx
 	res := &Result{Algorithm: "all-attributes"}
 	for _, a := range attrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Every split is unconditional, so intermediate averages are never
 		// consulted: scatter-only probes skip the distance work entirely and
 		// the triangle is materialized once at the end.
 		state = state.probe(a, e.cfg.Parallelism, false)
-		res.Steps = append(res.Steps, TraceStep{Attribute: a, Partitions: len(state.parts), Accepted: true})
+		step := TraceStep{Attribute: a, Partitions: len(state.parts), Accepted: true}
+		res.Steps = append(res.Steps, step)
+		if progress != nil {
+			progress(step)
+		}
 	}
 	state.materialize(e.cfg.Parallelism)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Partitioning = &partition.Partitioning{Parts: state.parts}
 	res.Unfairness = state.avg
 	if len(res.Steps) > 0 {
 		res.Steps[len(res.Steps)-1].AvgDistance = res.Unfairness
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // ExhaustiveCells solves the optimization problem exactly over the full
@@ -227,19 +290,32 @@ func AllAttributes(e *Evaluator, attrs []int) *Result {
 // on tiny instances; it exists to quantify how much optimum the tree-shaped
 // formulations leave on the table.
 func ExhaustiveCells(e *Evaluator, attrs []int, budget int) (*Result, error) {
+	return exhaustiveCellsCtx(context.Background(), e, attrs, budget)
+}
+
+func exhaustiveCellsCtx(ctx context.Context, e *Evaluator, attrs []int, budget int) (*Result, error) {
 	start := time.Now()
 	if attrs == nil {
 		attrs = e.Attrs()
 	}
 	res := &Result{Algorithm: "exhaustive-cells", Unfairness: -1}
 	err := partition.EnumerateCellGroupings(e.ds, attrs, budget, func(pt *partition.Partitioning) bool {
-		u := e.Unfairness(pt)
+		if ctx.Err() != nil {
+			return false
+		}
+		u := e.unfairnessCtx(ctx, pt)
+		if ctx.Err() != nil {
+			return false
+		}
 		if u > res.Unfairness {
 			res.Unfairness = u
 			res.Partitioning = pt
 		}
 		return true
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -256,19 +332,36 @@ func ExhaustiveCells(e *Evaluator, attrs []int, budget int) (*Result, error) {
 // the expected outcome at realistic attribute counts, mirroring the paper's
 // brute-force solver that "failed to terminate after running for two days".
 func Exhaustive(e *Evaluator, attrs []int, budget int) (*Result, error) {
+	return exhaustiveCtx(context.Background(), e, attrs, budget)
+}
+
+// exhaustiveCtx checks ctx before and during every candidate evaluation.
+// Note that EnumerateTrees materializes its option lists before the first
+// yield, so with budgets far above the default the solver observes ctx only
+// once candidates start flowing; exhaustiveCellsCtx streams from the start.
+func exhaustiveCtx(ctx context.Context, e *Evaluator, attrs []int, budget int) (*Result, error) {
 	start := time.Now()
 	if attrs == nil {
 		attrs = e.Attrs()
 	}
 	res := &Result{Algorithm: "exhaustive", Unfairness: -1}
 	err := partition.EnumerateTrees(e.ds, attrs, budget, func(pt *partition.Partitioning) bool {
-		u := e.Unfairness(pt)
+		if ctx.Err() != nil {
+			return false
+		}
+		u := e.unfairnessCtx(ctx, pt)
+		if ctx.Err() != nil {
+			return false
+		}
 		if u > res.Unfairness {
 			res.Unfairness = u
 			res.Partitioning = pt
 		}
 		return true
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -128,9 +128,12 @@ func (c *repCache) count() int { return int(c.next.Load()) }
 // the packed ordered handle pair, sharded like repCache. misses counts
 // every distance actually computed by the evaluator — including ones the
 // incremental engine resolves into probe-local matrices without storing
-// here — so CacheStats reflects real work done.
+// here — so CacheStats reflects real work done. hits counts lookups
+// served from the cache; the session layer reports the delta of both as
+// per-run stats.
 type pairCache struct {
 	misses atomic.Int64
+	hits   atomic.Int64
 	shards [cacheShards]pairShard
 }
 
@@ -152,6 +155,9 @@ func (c *pairCache) get(key uint64) (float64, bool) {
 	s.mu.Lock()
 	d, ok := s.m[key]
 	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
 	return d, ok
 }
 

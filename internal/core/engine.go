@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,23 @@ type matState struct {
 	reps  []*rep
 	dist  []float64 // upper triangle: pair (i,j), i<j, at tri(k,i,j); nil until materialized
 	avg   float64
+	// ctx, when non-nil, lets long evaluation loops stop early on
+	// cancellation. Derived states inherit it. A cancelled probe returns a
+	// state whose numbers must not be consulted; the algorithm layer checks
+	// ctx.Err() after every chooser call and discards such results.
+	ctx context.Context
 }
+
+// canceled reports whether the state's context (if any) is done. The check
+// is cheap (one atomic load in the common cases), so hot loops poll it
+// every ctxCheckStride iterations.
+func (s *matState) canceled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// ctxCheckStride is how many loop iterations evaluation hot paths run
+// between cancellation polls.
+const ctxCheckStride = 64
 
 // tri maps pair (i, j) with i < j to its slot in the flat upper triangle
 // of a k×k distance matrix.
@@ -153,6 +170,11 @@ func (e *Evaluator) scatterSplit(r *rep, p *partition.Partition, attr int) split
 // the distance work entirely for callers that only need the final state
 // (all-attributes); workers bounds the concurrent distance fill.
 func (s *matState) probe(attr, workers int, withDist bool) *matState {
+	if s.canceled() {
+		// Return a structurally valid state so concurrent probeAll fan-outs
+		// finish without nil checks; the caller sees ctx.Err() and discards.
+		return s
+	}
 	e := s.e
 	k := len(s.parts)
 	splits := make([]splitPart, k)
@@ -167,6 +189,7 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 		e:     e,
 		parts: make([]*partition.Partition, 0, nk),
 		reps:  make([]*rep, 0, nk),
+		ctx:   s.ctx,
 	}
 	parent := make([]int32, 0, nk)
 	aliased := make([]bool, 0, nk)
@@ -196,7 +219,10 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 	}
 	if len(missing) > 0 {
 		parfill(len(missing), workers, func(lo, hi int) {
-			for _, t := range missing[lo:hi] {
+			for x, t := range missing[lo:hi] {
+				if x&(ctxCheckStride-1) == ctxCheckStride-1 && s.canceled() {
+					return
+				}
 				nd[t.slot] = e.distOf(ns.reps[t.i].data, ns.reps[t.j].data)
 			}
 		})
@@ -231,7 +257,7 @@ func (s *matState) probeAll(attrs []int) []*matState {
 // single extracts part x as a standalone one-part state, the starting
 // point of the unbalanced local split decision.
 func (s *matState) single(x int) *matState {
-	return &matState{e: s.e, parts: s.parts[x : x+1], reps: s.reps[x : x+1], dist: []float64{}}
+	return &matState{e: s.e, parts: s.parts[x : x+1], reps: s.reps[x : x+1], dist: []float64{}, ctx: s.ctx}
 }
 
 // group reorders the state to put part x first — the grouping a child
@@ -252,6 +278,7 @@ func (s *matState) group(x int) *matState {
 		parts: make([]*partition.Partition, k),
 		reps:  make([]*rep, k),
 		dist:  make([]float64, k*(k-1)/2),
+		ctx:   s.ctx,
 	}
 	for i, pi := range perm {
 		ns.parts[i] = s.parts[pi]
@@ -288,6 +315,7 @@ func (s *matState) replaceFirst(children *matState) *matState {
 		e:     e,
 		parts: make([]*partition.Partition, 0, nk),
 		reps:  make([]*rep, 0, nk),
+		ctx:   s.ctx,
 	}
 	ns.parts = append(append(ns.parts, children.parts...), s.parts[1:]...)
 	ns.reps = append(append(ns.reps, children.reps...), s.reps[1:]...)
@@ -336,7 +364,10 @@ func (s *matState) materialize(workers int) {
 		}
 	}
 	parfill(n, workers, func(lo, hi int) {
-		for _, t := range pairs[lo:hi] {
+		for x, t := range pairs[lo:hi] {
+			if x&(ctxCheckStride-1) == ctxCheckStride-1 && s.canceled() {
+				return
+			}
 			s.dist[t.slot] = s.e.distOf(s.reps[t.i].data, s.reps[t.j].data)
 		}
 	})

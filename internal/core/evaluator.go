@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -256,6 +257,15 @@ type pairRef struct {
 
 // avgReps is AvgPairwise over already-interned representations.
 func (e *Evaluator) avgReps(reps []*rep) float64 {
+	return e.avgRepsCtx(nil, reps)
+}
+
+// avgRepsCtx is avgReps with cooperative cancellation: when ctx is non-nil
+// both the cache scan and the parallel missing-pair fill poll it every
+// ctxCheckStride pairs and abandon the remaining work. The returned value
+// is only meaningful when ctx was not cancelled; distances computed before
+// the cancellation still land in the shared cache.
+func (e *Evaluator) avgRepsCtx(ctx context.Context, reps []*rep) float64 {
 	k := len(reps)
 	n := k * (k - 1) / 2
 	d := make([]float64, n)
@@ -269,11 +279,17 @@ func (e *Evaluator) avgReps(reps []*rep) float64 {
 				missing = append(missing, pairRef{int32(m), int32(i), int32(j)})
 			}
 			m++
+			if ctx != nil && m&(ctxCheckStride-1) == 0 && ctx.Err() != nil {
+				return 0
+			}
 		}
 	}
 	if len(missing) > 0 {
 		parfill(len(missing), e.cfg.Parallelism, func(lo, hi int) {
-			for _, t := range missing[lo:hi] {
+			for x, t := range missing[lo:hi] {
+				if ctx != nil && x&(ctxCheckStride-1) == ctxCheckStride-1 && ctx.Err() != nil {
+					return
+				}
 				ri, rj := reps[t.i], reps[t.j]
 				v := e.distOf(ri.data, rj.data)
 				d[t.slot] = v
@@ -322,6 +338,28 @@ func (e *Evaluator) Unfairness(pt *partition.Partitioning) float64 {
 		return 0
 	}
 	return e.AvgPairwise(pt.Parts)
+}
+
+// unfairnessCtx is Unfairness with cooperative cancellation, used by the
+// exhaustive solvers so a cancelled search aborts mid-candidate instead of
+// finishing a potentially enormous pairwise evaluation. The value is only
+// meaningful when ctx was not cancelled.
+func (e *Evaluator) unfairnessCtx(ctx context.Context, pt *partition.Partitioning) float64 {
+	if pt == nil {
+		return 0
+	}
+	k := len(pt.Parts)
+	if k < 2 {
+		return 0
+	}
+	reps := make([]*rep, k)
+	for i, p := range pt.Parts {
+		if i&(ctxCheckStride-1) == ctxCheckStride-1 && ctx.Err() != nil {
+			return 0
+		}
+		reps[i] = e.repFor(p)
+	}
+	return e.avgRepsCtx(ctx, reps)
 }
 
 // splitAll splits every partition on attr, subject to MinPartitionSize:

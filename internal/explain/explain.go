@@ -12,6 +12,7 @@
 package explain
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -39,6 +40,14 @@ type AttributeImportance struct {
 // evaluator's (dataset, scoring function) pair, sorted by Solo descending
 // (ties by name for determinism).
 func Attributes(e *core.Evaluator) []AttributeImportance {
+	out, _ := AttributesContext(context.Background(), e)
+	return out
+}
+
+// AttributesContext is Attributes under a context: the per-attribute
+// leave-one-out evaluations check ctx between attributes, so a cancelled
+// explanation stops after the current attribute and returns ctx.Err().
+func AttributesContext(ctx context.Context, e *core.Evaluator) ([]AttributeImportance, error) {
 	ds := e.Dataset()
 	schema := ds.Schema()
 	all := e.Attrs()
@@ -54,6 +63,9 @@ func Attributes(e *core.Evaluator) []AttributeImportance {
 
 	out := make([]AttributeImportance, 0, len(all))
 	for _, a := range all {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		without := make([]int, 0, len(all)-1)
 		for _, x := range all {
 			if x != a {
@@ -72,7 +84,7 @@ func Attributes(e *core.Evaluator) []AttributeImportance {
 		}
 		return out[i].Attribute < out[j].Attribute
 	})
-	return out
+	return out, nil
 }
 
 // Report renders the importances as an aligned text table.

@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -99,7 +100,10 @@ func TestTwoAttributeBias(t *testing.T) {
 	// designed disparity.
 	gender := e.Dataset().Schema().ProtectedIndex("Gender")
 	country := e.Dataset().Schema().ProtectedIndex("Country")
-	combined := core.Balanced(e, []int{gender, country})
+	combined, err := core.Run(context.Background(), core.Spec{Evaluator: e, Attrs: []int{gender, country}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if combined.Unfairness < bySolo["Gender"]+0.2 {
 		t.Errorf("combined audit %v did not expose the hidden interaction (gender solo %v)",
 			combined.Unfairness, bySolo["Gender"])

@@ -1,0 +1,178 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fairrank/internal/emd"
+	"fairrank/internal/histogram"
+	"fairrank/internal/rng"
+	"fairrank/internal/simulate"
+)
+
+// TestQuickMonitorDelta is the property-based gate on the monitor's delta
+// path: after an arbitrary Join/Leave/Rescore sequence (including group
+// births and deaths), the incrementally maintained triangle agrees with
+// Recompute bit-for-bit (same sum-tree reduction over fresh distances) and
+// with a from-scratch emd.AveragePairwise over the live histograms to 1e-9
+// (serial reduction order differs, values do not).
+func TestQuickMonitorDelta(t *testing.T) {
+	prop := func(seed uint64) bool {
+		m, err := New(simulate.PaperSchema(), []string{"Gender", "Language"}, 8, 1)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		genders := []string{"Male", "Female"}
+		langs := []string{"English", "Indian", "Other"}
+		var live []string
+		next := 0
+		steps := 120 + int(seed%120)
+		for step := 0; step < steps; step++ {
+			switch op := r.Intn(4); {
+			case op <= 1 || len(live) == 0: // join (biased so the population grows)
+				id := fmt.Sprintf("w%d", next)
+				next++
+				prot := map[string]any{
+					"Gender":   rng.Pick(r, genders),
+					"Language": rng.Pick(r, langs),
+				}
+				if err := m.Join(id, prot, r.Float64()); err != nil {
+					return false
+				}
+				live = append(live, id)
+			case op == 2: // leave
+				x := r.Intn(len(live))
+				if err := m.Leave(live[x]); err != nil {
+					return false
+				}
+				live[x] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default: // rescore
+				if err := m.Rescore(live[r.Intn(len(live))], r.Float64()); err != nil {
+					return false
+				}
+			}
+			if step%10 != 0 && step != steps-1 {
+				continue
+			}
+			got, err := m.UnfairnessErr()
+			if err != nil {
+				return false
+			}
+			want, err := m.Recompute()
+			if err != nil {
+				return false
+			}
+			if got != want { // bit-identical contract with the oracle
+				t.Logf("seed %d step %d: incremental %v != recompute %v", seed, step, got, want)
+				return false
+			}
+			if ref := refAveragePairwise(m); math.Abs(got-ref) > 1e-9 {
+				t.Logf("seed %d step %d: incremental %v vs serial %v", seed, step, got, ref)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refAveragePairwise evaluates the monitor's grouping from scratch with
+// the serial batch reduction the old monitor used.
+func refAveragePairwise(m *Monitor) float64 {
+	if len(m.groups) < 2 {
+		return 0
+	}
+	keys := make([]string, 0, len(m.groups))
+	for k := range m.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*histogram.Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = m.groups[k].hist
+	}
+	d, err := emd.AveragePairwise(hs, emd.GroundScore)
+	if err != nil {
+		return math.NaN()
+	}
+	return d
+}
+
+// TestUnfairnessErrSurfacesFailures drives the monitor into the
+// inconsistent state the old implementation hid: a histogram removal that
+// cannot succeed. UnfairnessErr must surface the error; Unfairness must
+// fall back to 0 per its documented lossy contract.
+func TestUnfairnessErrSurfacesFailures(t *testing.T) {
+	m := newMonitor(t, []string{"Gender"}, 1)
+	if err := m.Join("m", maleAttrs(), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join("f", femaleAttrs(), 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.UnfairnessErr(); err != nil {
+		t.Fatalf("healthy monitor reported error: %v", err)
+	}
+	// Corrupt the bookkeeping: claim m's worker was scored into a bin that
+	// holds no mass, so the departure's histogram removal must fail.
+	m.workers["m"] = workerState{key: m.workers["m"].key, score: 0.95}
+	if err := m.Leave("m"); err == nil {
+		t.Fatal("corrupted removal succeeded")
+	}
+	if _, err := m.UnfairnessErr(); err == nil {
+		t.Fatal("UnfairnessErr hid the failure")
+	}
+	if u := m.Unfairness(); u != 0 {
+		t.Fatalf("lossy Unfairness = %v with pending error, want 0", u)
+	}
+}
+
+// TestStructuralRebuild exercises group birth and death directly: the
+// triangle must stay consistent with Recompute across both.
+func TestStructuralRebuild(t *testing.T) {
+	m := newMonitor(t, []string{"Gender", "Language"}, 1)
+	attrs := func(g, l string) map[string]any {
+		a := maleAttrs()
+		a["Gender"], a["Language"] = g, l
+		return a
+	}
+	check := func() {
+		t.Helper()
+		got, err := m.UnfairnessErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Recompute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("incremental %v != recompute %v", got, want)
+		}
+	}
+	m.Join("a", attrs("Male", "English"), 0.9)
+	check()
+	m.Join("b", attrs("Female", "English"), 0.2)
+	check()
+	m.Join("c", attrs("Female", "Indian"), 0.5) // third group born
+	check()
+	m.Join("d", attrs("Male", "Other"), 0.7) // fourth group born
+	check()
+	if err := m.Leave("c"); err != nil { // third group dies
+		t.Fatal(err)
+	}
+	if m.Groups() != 3 {
+		t.Fatalf("groups = %d, want 3", m.Groups())
+	}
+	check()
+	m.Rescore("d", 0.1)
+	check()
+}

@@ -2,9 +2,14 @@
 // marketplace. The paper audits a static snapshot of workers; on a real
 // platform workers join, leave, and are re-scored constantly. Monitor
 // maintains the per-group score histograms of a fixed partitioning
-// incrementally, so unfairness can be re-evaluated after every event in
-// O(groups² · bins) without rescanning the population, and raises an alert
-// when unfairness drifts past a threshold.
+// incrementally and, like the core engine, keeps the flat upper triangle
+// of pairwise EMDs alive across events: a stream event touches exactly one
+// group, so only the k-1 distances involving that group are recomputed
+// (O(k·bins) work) and a segment sum tree over the triangle refreshes the
+// running total in O(k·log k) — instead of the old O(k²·bins) rebuild.
+// Unfairness is therefore cheap enough to re-evaluate after every event at
+// marketplace traffic rates, and the monitor raises an alert when it
+// drifts past a threshold.
 package monitor
 
 import (
@@ -26,14 +31,40 @@ type Monitor struct {
 	attrs     []int // monitored protected attribute indices
 	bins      int
 	threshold float64
+	unit      float64 // EMD ground distance between adjacent bins
 
-	groups map[string]*histogram.Histogram
+	groups map[string]*group
+	// order holds the non-empty groups sorted by key; a group's index in
+	// order addresses its rows in the distance triangle.
+	order []*group
+	// tri is the flat upper triangle of pairwise EMDs over order: the
+	// distance between groups i < j lives at tri(k, i, j). Stream events
+	// rewrite only the changed group's row.
+	tri []float64
+	// sum reduces tri; its root divided by the pair count is the current
+	// unfairness. The tree gives O(log) exact updates with a reduction
+	// order fixed by the leaf count, so the incremental value is
+	// bit-identical to Recompute's from-scratch rebuild.
+	sum *sumTree
 	// workers maps worker ID → (group key, score) so departures and
 	// re-scores need only the ID.
 	workers map[string]workerState
 	// minWorkers suppresses alerts until the population is large enough
 	// for the unfairness estimate to be more than sampling noise.
 	minWorkers int
+	// lastErr records the first event-processing failure that may have
+	// left the triangle inconsistent; UnfairnessErr surfaces it.
+	lastErr error
+}
+
+// group is one non-empty partition cell: its histogram plus the cached
+// PMF the distance computations compare (refreshed in place whenever the
+// histogram changes, so an event never re-normalizes untouched groups).
+type group struct {
+	key  string
+	idx  int // position in Monitor.order
+	hist *histogram.Histogram
+	pmf  []float64
 }
 
 type workerState struct {
@@ -61,7 +92,8 @@ func New(schema *dataset.Schema, attrs []string, bins int, threshold float64) (*
 		schema:    schema.Clone(),
 		bins:      bins,
 		threshold: threshold,
-		groups:    map[string]*histogram.Histogram{},
+		unit:      1 / float64(bins), // GroundScore over [0,1]: the bin width
+		groups:    map[string]*group{},
 		workers:   map[string]workerState{},
 	}
 	for _, name := range attrs {
@@ -122,6 +154,115 @@ func toFloat(v any) (float64, bool) {
 	}
 }
 
+// tri maps pair (i, j) with i < j to its slot in the flat upper triangle
+// of a k×k distance matrix.
+func triSlot(k, i, j int) int { return i*(2*k-i-1)/2 + j - i - 1 }
+
+// pmfInto writes h's PMF into dst without allocating, with exactly
+// Histogram.PMF's normalization (uniform when empty).
+func pmfInto(h *histogram.Histogram, dst []float64) {
+	total := h.Total()
+	if total == 0 {
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = h.Count(i) / total
+	}
+}
+
+// touch refreshes g's cached PMF and the k-1 triangle entries involving g
+// after its histogram changed — the O(k) delta path every non-structural
+// stream event takes.
+func (m *Monitor) touch(g *group) {
+	pmfInto(g.hist, g.pmf)
+	k := len(m.order)
+	for _, o := range m.order {
+		if o == g {
+			continue
+		}
+		i, j := g.idx, o.idx
+		if i > j {
+			i, j = j, i
+		}
+		slot := triSlot(k, i, j)
+		d := emd.PMFDistance(m.order[i].pmf, m.order[j].pmf, m.unit)
+		m.tri[slot] = d
+		m.sum.set(slot, d)
+	}
+}
+
+// rebuild re-derives order indices, the triangle and the sum tree after a
+// structural change (group born or died), copying every surviving distance
+// from the old triangle via oldIdx (a new position's previous index, -1
+// for a new group whose row the caller fills via touch). Structural events
+// are O(k²) but rare — the steady-state group set of a marketplace is
+// fixed; per-worker events take the O(k) touch path.
+func (m *Monitor) rebuild(oldK int, oldTri []float64, oldIdx []int) {
+	k := len(m.order)
+	for i, g := range m.order {
+		g.idx = i
+	}
+	m.tri = make([]float64, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		if oldIdx[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < k; j++ {
+			if oldIdx[j] < 0 {
+				continue
+			}
+			m.tri[triSlot(k, i, j)] = oldTri[triSlot(oldK, oldIdx[i], oldIdx[j])]
+		}
+	}
+	m.sum = newSumTree(m.tri)
+}
+
+// insertGroup adds a new empty group at its sorted position. Its triangle
+// row is left zero; the caller must touch it after adding the first score.
+func (m *Monitor) insertGroup(key string) *group {
+	g := &group{key: key, hist: histogram.MustNew(m.bins, 0, 1), pmf: make([]float64, m.bins)}
+	m.groups[key] = g
+	pos := sort.Search(len(m.order), func(i int) bool { return m.order[i].key >= key })
+	oldK, oldTri := len(m.order), m.tri
+	m.order = append(m.order, nil)
+	copy(m.order[pos+1:], m.order[pos:])
+	m.order[pos] = g
+	oldIdx := make([]int, len(m.order))
+	for i := range oldIdx {
+		switch {
+		case i < pos:
+			oldIdx[i] = i
+		case i == pos:
+			oldIdx[i] = -1
+		default:
+			oldIdx[i] = i - 1
+		}
+	}
+	m.rebuild(oldK, oldTri, oldIdx)
+	return g
+}
+
+// removeGroup drops an emptied group, compacting the triangle.
+func (m *Monitor) removeGroup(g *group) {
+	delete(m.groups, g.key)
+	pos := g.idx
+	oldK, oldTri := len(m.order), m.tri
+	m.order = append(m.order[:pos], m.order[pos+1:]...)
+	oldIdx := make([]int, len(m.order))
+	for i := range oldIdx {
+		if i < pos {
+			oldIdx[i] = i
+		} else {
+			oldIdx[i] = i + 1
+		}
+	}
+	m.rebuild(oldK, oldTri, oldIdx)
+}
+
 // Join records a worker arriving (or being hired onto) the platform with
 // the given protected attributes and current score.
 func (m *Monitor) Join(id string, protected map[string]any, score float64) error {
@@ -135,12 +276,12 @@ func (m *Monitor) Join(id string, protected map[string]any, score float64) error
 	if err != nil {
 		return err
 	}
-	h := m.groups[key]
-	if h == nil {
-		h = histogram.MustNew(m.bins, 0, 1)
-		m.groups[key] = h
+	g := m.groups[key]
+	if g == nil {
+		g = m.insertGroup(key)
 	}
-	h.Add(score)
+	g.hist.Add(score)
+	m.touch(g)
 	m.workers[id] = workerState{key: key, score: score}
 	return nil
 }
@@ -151,11 +292,15 @@ func (m *Monitor) Leave(id string) error {
 	if !ok {
 		return fmt.Errorf("monitor: unknown worker %q", id)
 	}
-	if err := m.groups[st.key].Remove(st.score); err != nil {
+	g := m.groups[st.key]
+	if err := g.hist.Remove(st.score); err != nil {
+		m.lastErr = err
 		return err
 	}
-	if m.groups[st.key].Empty() {
-		delete(m.groups, st.key)
+	if g.hist.Empty() {
+		m.removeGroup(g)
+	} else {
+		m.touch(g)
 	}
 	delete(m.workers, id)
 	return nil
@@ -167,10 +312,13 @@ func (m *Monitor) Rescore(id string, score float64) error {
 	if !ok {
 		return fmt.Errorf("monitor: unknown worker %q", id)
 	}
-	if err := m.groups[st.key].Remove(st.score); err != nil {
+	g := m.groups[st.key]
+	if err := g.hist.Remove(st.score); err != nil {
+		m.lastErr = err
 		return err
 	}
-	m.groups[st.key].Add(score)
+	g.hist.Add(score)
+	m.touch(g)
 	st.score = score
 	m.workers[id] = st
 	return nil
@@ -182,26 +330,54 @@ func (m *Monitor) Workers() int { return len(m.workers) }
 // Groups returns the number of non-empty groups.
 func (m *Monitor) Groups() int { return len(m.groups) }
 
-// Unfairness computes the current average pairwise EMD between the
-// non-empty groups' score histograms.
+// UnfairnessErr returns the current average pairwise EMD between the
+// non-empty groups' score histograms, read off the incrementally
+// maintained triangle in O(1). It returns a non-nil error if an earlier
+// event failed in a way that may have left the monitor's bookkeeping
+// inconsistent (e.g. a Leave or Rescore whose histogram removal failed),
+// in which case the value is the best available estimate.
+func (m *Monitor) UnfairnessErr() (float64, error) {
+	if len(m.order) < 2 {
+		return 0, m.lastErr
+	}
+	return m.sum.root() / float64(len(m.tri)), m.lastErr
+}
+
+// Unfairness is the lossy convenience wrapper around UnfairnessErr: it
+// reports 0 whenever an error is pending, so callers that cannot handle
+// errors fail toward "no unfairness signal" rather than a stale value.
+// Monitoring loops should prefer UnfairnessErr.
 func (m *Monitor) Unfairness() float64 {
-	if len(m.groups) < 2 {
-		return 0
-	}
-	keys := make([]string, 0, len(m.groups))
-	for k := range m.groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	hs := make([]*histogram.Histogram, len(keys))
-	for i, k := range keys {
-		hs[i] = m.groups[k]
-	}
-	d, err := emd.AveragePairwise(hs, emd.GroundScore)
+	u, err := m.UnfairnessErr()
 	if err != nil {
 		return 0
 	}
-	return d
+	return u
+}
+
+// Recompute rebuilds every group PMF and pairwise distance from scratch
+// and reduces them with a fresh sum tree of the same shape, without
+// consulting (or mutating) the incremental state. It exists as the
+// correctness oracle for the delta path: Recompute's result is
+// bit-identical to UnfairnessErr's whenever the monitor is consistent.
+func (m *Monitor) Recompute() (float64, error) {
+	k := len(m.order)
+	if k < 2 {
+		return 0, m.lastErr
+	}
+	pmfs := make([][]float64, k)
+	for i, g := range m.order {
+		pmfs[i] = g.hist.PMF()
+	}
+	tri := make([]float64, k*(k-1)/2)
+	s := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			tri[s] = emd.PMFDistance(pmfs[i], pmfs[j], m.unit)
+			s++
+		}
+	}
+	return newSumTree(tri).root() / float64(len(tri)), m.lastErr
 }
 
 // SetMinWorkers sets a warm-up guard: Alert never reports a breach while

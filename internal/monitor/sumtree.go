@@ -1,0 +1,38 @@
+package monitor
+
+// sumTree is a fixed-shape segment tree holding the running sum of the
+// distance triangle. Leaves are padded to a power of two, so the reduction
+// order — and therefore the floating-point result — is a pure function of
+// the leaf count and the leaf values: updating leaves in any order yields
+// the same root as rebuilding the tree from the same values, which is the
+// bit-identity contract between the monitor's delta path and Recompute.
+// Updates cost O(log n); the root read is O(1).
+type sumTree struct {
+	size int       // leaf capacity, a power of two
+	node []float64 // 1-indexed heap layout; node[1] is the root
+}
+
+func newSumTree(leaves []float64) *sumTree {
+	size := 1
+	for size < len(leaves) {
+		size <<= 1
+	}
+	t := &sumTree{size: size, node: make([]float64, 2*size)}
+	copy(t.node[size:], leaves)
+	for i := size - 1; i >= 1; i-- {
+		t.node[i] = t.node[2*i] + t.node[2*i+1]
+	}
+	return t
+}
+
+// set writes leaf i and refreshes the sums on its root path.
+func (t *sumTree) set(i int, v float64) {
+	j := t.size + i
+	t.node[j] = v
+	for j >>= 1; j >= 1; j >>= 1 {
+		t.node[j] = t.node[2*j] + t.node[2*j+1]
+	}
+}
+
+// root returns the sum of all leaves.
+func (t *sumTree) root() float64 { return t.node[1] }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -135,7 +136,10 @@ func TestTreeRendering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.Balanced(e, nil)
+	r, err := core.Run(context.Background(), core.Spec{Evaluator: e})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var b strings.Builder
 	if err := Tree(&b, e, r); err != nil {
 		t.Fatal(err)

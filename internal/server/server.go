@@ -13,6 +13,7 @@
 //	POST /v1/tasks                    post a task {id,title,dataset,weights}
 //	GET  /v1/tasks                    list tasks
 //	GET  /v1/rank?task=&k=&q=         ranked (optionally query-filtered) workers
+//	GET  /v1/algorithms               list registered audit algorithms
 //	POST /v1/audits                   run an audit (see auditRequest)
 //	GET  /v1/audits                   list stored audit results
 //	GET  /v1/audits/{id}              one stored audit result
@@ -41,7 +42,6 @@ import (
 	"fairrank/internal/partition"
 	"fairrank/internal/repair"
 	"fairrank/internal/rerank"
-	"fairrank/internal/rng"
 	"fairrank/internal/scoring"
 	"fairrank/internal/simulate"
 	"fairrank/internal/store"
@@ -117,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tasks", s.handleListTasks)
 	mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleDeleteTask)
 	mux.HandleFunc("GET /v1/rank", s.handleRank)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.Handle("POST /v1/audits", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleRunAudit)))
 	mux.HandleFunc("GET /v1/audits", s.handleListAudits)
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleGetAudit)
@@ -404,8 +405,10 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 
 // auditRequest describes an audit to run.
 type auditRequest struct {
-	Dataset   string `json:"dataset"`
-	Algorithm string `json:"algorithm"` // balanced|unbalanced|r-balanced|r-unbalanced|all-attributes
+	Dataset string `json:"dataset"`
+	// Algorithm is a registered algorithm name (GET /v1/algorithms lists
+	// them); empty selects "balanced".
+	Algorithm string `json:"algorithm"`
 	// Weights defines the scoring function over observed attributes.
 	Weights map[string]float64 `json:"weights"`
 	Bins    int                `json:"bins,omitempty"`
@@ -415,6 +418,8 @@ type auditRequest struct {
 	// SignificanceRounds > 0 adds a permutation-test p-value.
 	SignificanceRounds int    `json:"significance_rounds,omitempty"`
 	Seed               uint64 `json:"seed,omitempty"`
+	// Budget caps exhaustive enumeration (0 = engine default).
+	Budget int `json:"budget,omitempty"`
 }
 
 // auditResponse is the stored, returned audit result.
@@ -480,20 +485,22 @@ func (s *Server) handleRunAudit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var res *core.Result
-	switch req.Algorithm {
-	case "balanced", "":
-		res = core.Balanced(e, attrs)
-	case "unbalanced":
-		res = core.Unbalanced(e, attrs)
-	case "r-balanced":
-		res = core.RBalanced(e, attrs, rng.New(req.Seed+1))
-	case "r-unbalanced":
-		res = core.RUnbalanced(e, attrs, rng.New(req.Seed+2))
-	case "all-attributes":
-		res = core.AllAttributes(e, attrs)
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+	// The request's context flows into the engine: a client that
+	// disconnects mid-audit aborts the search instead of burning an audit
+	// slot to completion.
+	res, err := core.Run(r.Context(), core.Spec{
+		Algorithm: req.Algorithm,
+		Evaluator: e,
+		Attrs:     attrs,
+		Seed:      req.Seed,
+		Budget:    req.Budget,
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client is gone; nothing to write and nothing to store.
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -673,7 +680,15 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 		pt = &partition.Partitioning{Parts: parts}
 	} else {
-		pt = core.Balanced(e, nil).Partitioning
+		res, err := core.Run(r.Context(), core.Spec{Evaluator: e})
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		pt = res.Partitioning
 	}
 	bins := e.Config().Bins
 	before, err := repair.Unfairness(e.Scores(), pt, bins)
@@ -730,7 +745,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, explain.Attributes(e))
+	imps, err := explain.AttributesContext(r.Context(), e)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, imps)
+}
+
+// handleAlgorithms lists the registered audit algorithm names — the
+// authoritative validation set for auditRequest.Algorithm.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, core.Algorithms())
 }
 
 func (s *Server) handleListAudits(w http.ResponseWriter, r *http.Request) {

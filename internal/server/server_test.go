@@ -2,13 +2,17 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"fairrank/internal/core"
 	"fairrank/internal/simulate"
 	"fairrank/internal/store"
 )
@@ -554,5 +558,71 @@ func TestExplainEndpoint(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty weights = %d", resp.StatusCode)
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var names []string
+	if code := getJSON(t, ts.URL+"/v1/algorithms", &names); code != http.StatusOK {
+		t.Fatalf("algorithms = %d", code)
+	}
+	if !reflect.DeepEqual(names, core.Algorithms()) {
+		t.Fatalf("endpoint %v != registry %v", names, core.Algorithms())
+	}
+	for _, want := range []string{"balanced", "unbalanced", "exhaustive"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("algorithm list missing %q: %v", want, names)
+		}
+	}
+}
+
+// TestAuditClientDisconnect drives the audit handler in-process with a
+// cancellable request context — the server-side view of a client that
+// disconnects mid-audit. The search must abort promptly and leave nothing
+// in the audit store.
+func TestAuditClientDisconnect(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	uploadDataset(t, ts, "workers", 500)
+
+	// exhaustive-cells over all six attributes streams candidates from a
+	// Bell-number space: it cannot finish, so only the cancellation can
+	// end the request.
+	raw, err := json.Marshal(map[string]any{
+		"dataset":   "workers",
+		"algorithm": "exhaustive-cells",
+		"budget":    1 << 40,
+		"weights":   map[string]float64{"LanguageTest": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/audits", bytes.NewReader(raw)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("audit handler did not return within 5s of client disconnect")
+	}
+
+	// The aborted audit must not have been assigned an ID or stored.
+	var all []map[string]any
+	if code := getJSON(t, ts.URL+"/v1/audits", &all); code != http.StatusOK || len(all) != 0 {
+		t.Fatalf("audits after disconnect: code %d, %d stored", code, len(all))
 	}
 }

@@ -1,13 +1,13 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
-	"fairrank/internal/rng"
 	"fairrank/internal/scoring"
 )
 
@@ -211,21 +211,16 @@ func RunParallel(spec Spec, workers int) (*Result, error) {
 	return res, nil
 }
 
+// runAlgorithm dispatches through the engine registry. The registry's
+// baseline seed derivations (r-balanced from seed+1, r-unbalanced from
+// seed+2) match the derivations this package always used, so table outputs
+// are unchanged.
 func runAlgorithm(e *core.Evaluator, a AlgorithmID, seed uint64) (*core.Result, error) {
-	switch a {
-	case AlgoBalanced:
-		return core.Balanced(e, nil), nil
-	case AlgoUnbalanced:
-		return core.Unbalanced(e, nil), nil
-	case AlgoRBalanced:
-		return core.RBalanced(e, nil, rng.New(seed+1)), nil
-	case AlgoRUnbalanced:
-		return core.RUnbalanced(e, nil, rng.New(seed+2)), nil
-	case AlgoAllAttributes:
-		return core.AllAttributes(e, nil), nil
-	default:
-		return nil, fmt.Errorf("simulate: unknown algorithm %q", a)
-	}
+	return core.Run(context.Background(), core.Spec{
+		Algorithm: string(a),
+		Evaluator: e,
+		Seed:      seed,
+	})
 }
 
 // Table1Spec reproduces Table 1: 500 workers, random functions f1–f5,

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -129,8 +130,14 @@ func TestLatentBiasDetectedByAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb := core.Balanced(eb, nil)
-	rn := core.Balanced(en, nil)
+	rb, err := core.Run(context.Background(), core.Spec{Evaluator: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := core.Run(context.Background(), core.Spec{Evaluator: en})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rb.Unfairness <= rn.Unfairness {
 		t.Fatalf("latent bias (%v) not above neutral (%v)", rb.Unfairness, rn.Unfairness)
 	}
@@ -142,7 +149,10 @@ func TestLatentBiasDetectedByAudit(t *testing.T) {
 	// And the Language grouping itself carries a large, unambiguous gap
 	// on the biased population but not on the neutral one.
 	langSplit := func(e *core.Evaluator) float64 {
-		res := core.Balanced(e, []int{langIdx})
+		res, err := core.Run(context.Background(), core.Spec{Evaluator: e, Attrs: []int{langIdx}})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return res.Unfairness
 	}
 	if got := langSplit(eb); got < 0.25 {
