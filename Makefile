@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-monitor verify
+.PHONY: build test bench bench-monitor verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -19,9 +20,29 @@ bench-monitor:
 	$(GO) test -run '^$$' -bench 'BenchmarkMonitor' -benchmem ./internal/monitor/
 
 # verify is the gate for changes to the evaluation engine: static checks
-# plus the race detector over the packages the session layer spans — the
-# engine, the enumeration space, the streaming monitor, and the HTTP
-# surface that routes request contexts into them.
+# plus the race detector over the whole module. Every package rides along —
+# the differential/metamorphic suites added with internal/testkit made the
+# leaf packages cheap enough that excluding them buys nothing.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/partition/... ./internal/monitor/... ./internal/server/...
+	$(GO) test -race ./...
+
+# fuzz-smoke runs each fuzz target for FUZZTIME (default 10s), sequentially
+# — `go test -fuzz` accepts only one target per invocation. The committed
+# corpora under testdata/fuzz/ are replayed by plain `go test` as well; this
+# target additionally explores new inputs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPMFDistance$$' -fuzztime $(FUZZTIME) ./internal/emd/
+	$(GO) test -run '^$$' -fuzz '^FuzzExactEMD$$' -fuzztime $(FUZZTIME) ./internal/emd/
+	$(GO) test -run '^$$' -fuzz '^FuzzHistogram$$' -fuzztime $(FUZZTIME) ./internal/histogram/
+	$(GO) test -run '^$$' -fuzz '^FuzzEnumerate$$' -fuzztime $(FUZZTIME) ./internal/partition/
+	$(GO) test -run '^$$' -fuzz '^FuzzEvaluatorOracle$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/query/
+	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+
+# cover writes a module-wide coverage profile (uploaded as a CI artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1

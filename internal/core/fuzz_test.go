@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/testkit"
+)
+
+// FuzzEvaluatorOracle drives the cached/parallel evaluator with fuzzer-shaped
+// score columns and arbitrary (possibly lopsided or empty) index groups and
+// checks it against the testkit oracle's rebuild-everything pipeline, in both
+// binned and Exact modes. Layout: data[0] picks the bin count, data[1] the
+// group count, then alternating score/assignment bytes.
+func FuzzEvaluatorOracle(f *testing.F) {
+	f.Add([]byte{10, 2, 10, 0, 200, 1, 30, 0, 180, 1})
+	f.Add([]byte{1, 5, 100, 0, 100, 1, 100, 2, 100, 3, 100, 4})
+	f.Add([]byte{16, 3, 0, 0, 255, 1, 128, 2, 64, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		bins := int(data[0])%20 + 1
+		k := int(data[1])%6 + 2
+		body := data[2:]
+		if len(body) > 128 {
+			body = body[:128]
+		}
+		n := len(body) / 2
+		if n < 1 {
+			return
+		}
+		scores := make([]float64, n)
+		parts := make([][]int, k)
+		for i := 0; i < n; i++ {
+			scores[i] = float64(body[2*i]) / 255
+			g := int(body[2*i+1]) % k
+			parts[g] = append(parts[g], i)
+		}
+
+		var o testkit.Oracle
+		ds, fn := scoredDataset(t, scores)
+
+		e, err := NewEvaluator(ds, fn, Config{Bins: bins})
+		if err != nil {
+			t.Fatalf("NewEvaluator: %v", err)
+		}
+		got := e.AvgPairwise(namedParts(parts))
+		want := o.Unfairness(scores, parts, bins)
+		if math.Abs(got-want) > testkit.Tol {
+			t.Fatalf("binned: evaluator %v, oracle %v (n=%d k=%d bins=%d)", got, want, n, k, bins)
+		}
+
+		ex, err := NewEvaluator(ds, fn, Config{Exact: true})
+		if err != nil {
+			t.Fatalf("NewEvaluator(exact): %v", err)
+		}
+		gotEx := ex.AvgPairwise(namedParts(parts))
+		wantEx := o.ExactUnfairness(scores, parts)
+		if math.Abs(gotEx-wantEx) > testkit.Tol {
+			t.Fatalf("exact: evaluator %v, oracle %v (n=%d k=%d)", gotEx, wantEx, n, k)
+		}
+	})
+}

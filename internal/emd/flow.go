@@ -160,6 +160,23 @@ func (f *flowNet) minCost(supply, demand []int64) (float64, error) {
 	inQueue := make([]bool, nodes)
 	prevEdge := make([]int, nodes)
 
+	// The relaxation epsilon must scale with the cost magnitude: residual
+	// cycles whose exact cost is zero accumulate rounding error on the order
+	// of 1e-16 × |cost|, and an absolute 1e-15 guard reads that as a real
+	// improvement, relaxing the same cycle forever. Found by differential
+	// fuzzing against the closed form (see differential_test.go).
+	maxCost := 0.0
+	for _, c := range f.costE {
+		if a := math.Abs(c); a > maxCost {
+			maxCost = a
+		}
+	}
+	eps := 1e-9 * (maxCost + 1)
+	// Belt and braces: SPFA on a graph free of negative cycles pops each node
+	// at most |V| times per phase; far beyond that means float noise built a
+	// negative cycle the epsilon missed, so fail instead of spinning.
+	popBudget := 4 * nodes * nodes * (f.n*f.m + nodes)
+
 	for need > 0 {
 		// Bellman-Ford / SPFA shortest path by cost.
 		for i := range dist {
@@ -169,17 +186,21 @@ func (f *flowNet) minCost(supply, demand []int64) (float64, error) {
 		dist[src] = 0
 		queue := []int{src}
 		inQueue[src] = true
+		pops := 0
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
 			inQueue[u] = false
+			if pops++; pops > popBudget {
+				return 0, errors.New("emd: flow search cycling (degenerate costs)")
+			}
 			for e := f.head[u]; e != -1; e = f.next[e] {
 				if f.cap[e] <= 0 {
 					continue
 				}
 				v := f.to[e]
 				nd := dist[u] + f.costE[e]
-				if nd < dist[v]-1e-15 {
+				if nd < dist[v]-eps {
 					dist[v] = nd
 					prevEdge[v] = e
 					if !inQueue[v] {

@@ -1,0 +1,120 @@
+package emd
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/testkit"
+)
+
+// Fuzz targets differential-test the EMD fast paths against the testkit
+// oracles on fuzzer-shaped inputs. Seed corpora live under
+// testdata/fuzz/<target>/ and are replayed by plain `go test` as well.
+
+// normalizePMF turns raw non-negative floats into a PMF, or nil when the
+// row carries no mass.
+func normalizePMF(vals []float64) []float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v / total
+	}
+	return out
+}
+
+// FuzzPMFDistance checks the closed-form EMD against the explicit-flow
+// oracle and the min-cost-flow Transport solver. Layout: data[0] selects the
+// bin count, data[1] the ground unit, the rest supplies two PMFs. The
+// committed sparse-supply-vs-dense-demand seeds reproduce the cost-epsilon
+// cycling that used to hang Transport's SPFA search.
+func FuzzPMFDistance(f *testing.F) {
+	f.Add([]byte{10, 50, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte{4, 100, 200, 0, 0, 0, 0, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		bins := int(data[0])%24 + 1
+		unit := float64(data[1])/100 + 0.01
+		vals := testkit.FiniteFloats(data[2:])
+		if len(vals) < 2*bins {
+			return
+		}
+		p := normalizePMF(vals[:bins])
+		q := normalizePMF(vals[bins : 2*bins])
+		if p == nil || q == nil {
+			return
+		}
+		var o testkit.Oracle
+		d := PMFDistance(p, q, unit)
+		if want := o.EMDFlow(p, q, unit); math.Abs(d-want) > testkit.Tol {
+			t.Fatalf("PMFDistance = %v, flow oracle = %v (p=%v q=%v unit=%v)", d, want, p, q, unit)
+		}
+		if back := PMFDistance(q, p, unit); math.Abs(back-d) > testkit.Tol {
+			t.Fatalf("asymmetric: %v vs %v", d, back)
+		}
+		if d < 0 {
+			t.Fatalf("negative distance %v", d)
+		}
+		tr, err := Transport(p, q, LinearCost(bins, bins, unit))
+		if err != nil {
+			t.Fatalf("Transport: %v (p=%v q=%v)", err, p, q)
+		}
+		if math.Abs(tr-d) > 1e-6 {
+			t.Fatalf("Transport = %v, closed form = %v (p=%v q=%v unit=%v)", tr, d, p, q, unit)
+		}
+	})
+}
+
+// FuzzExactEMD checks the sample-space paths: Exact1D against the oracle's
+// monotone-coupling flow, and ExactWp's contract of rejecting non-finite
+// samples instead of sorting garbage. Layout: data[0] splits the remaining
+// bytes into the two samples; values decode through SpecialFloats so NaN
+// and ±Inf occur.
+func FuzzExactEMD(f *testing.F) {
+	f.Add([]byte{3, 10, 20, 30, 100, 150, 200})
+	f.Add([]byte{1, 255, 100}) // NaN in the first sample
+	f.Add([]byte{2, 254, 253, 100})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cut := int(data[0])%(len(data)-1) + 1
+		vals := testkit.SpecialFloats(data[1:])
+		xs, ys := vals[:cut], vals[cut:]
+		if len(xs) == 0 || len(ys) == 0 {
+			return
+		}
+		finite := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+				break
+			}
+		}
+		w1, err := ExactWp(xs, ys, 1)
+		if !finite {
+			if err == nil {
+				t.Fatalf("ExactWp accepted non-finite samples %v / %v", xs, ys)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ExactWp rejected finite samples: %v", err)
+		}
+		var o testkit.Oracle
+		ex := Exact1D(xs, ys)
+		if want := o.WpFlow(xs, ys, 1); math.Abs(ex-want) > testkit.Tol {
+			t.Fatalf("Exact1D = %v, flow oracle = %v (xs=%v ys=%v)", ex, want, xs, ys)
+		}
+		if math.Abs(w1-ex) > testkit.Tol {
+			t.Fatalf("ExactWp(1) = %v, Exact1D = %v", w1, ex)
+		}
+	})
+}

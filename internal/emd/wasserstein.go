@@ -19,6 +19,15 @@ func ExactWp(xs, ys []float64, p float64) (float64, error) {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0, errors.New("emd: empty sample")
 	}
+	// NaN breaks sort.Float64s ordering and Inf makes the integral diverge;
+	// both would silently produce garbage, so reject them up front.
+	for _, s := range [2][]float64{xs, ys} {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, errors.New("emd: non-finite sample value")
+			}
+		}
+	}
 	a := append([]float64(nil), xs...)
 	b := append([]float64(nil), ys...)
 	sort.Float64s(a)

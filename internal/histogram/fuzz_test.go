@@ -1,0 +1,58 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/testkit"
+)
+
+// FuzzHistogram feeds arbitrary byte-decoded values — including NaN, ±Inf
+// and out-of-range magnitudes via SpecialFloats — through both histogram
+// implementations. Neither may panic; Histogram must agree with the oracle's
+// branchy counting bin-for-bin and must never lose mass; Irregular must
+// clamp NaN to bin 0 (the committed "\xff" seed is the reproducer for the
+// SearchFloat64s out-of-range panic this suite caught).
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{8, 10, 20, 30, 100, 200, 250})
+	f.Add([]byte{4, 255})           // NaN: Irregular.Add used to panic
+	f.Add([]byte{6, 254, 253, 252}) // ±Inf and below-range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		bins := int(data[0])%20 + 1
+		vals := testkit.SpecialFloats(data[1:])
+
+		h := MustNew(bins, 0, 1)
+		h.AddAll(vals)
+		if h.Total() != float64(len(vals)) {
+			t.Fatalf("total = %v, added %d values", h.Total(), len(vals))
+		}
+		var o testkit.Oracle
+		want := o.Counts(vals, bins, 0, 1)
+		for i, c := range h.Counts() {
+			if c != want[i] {
+				t.Fatalf("bin %d: count %v, oracle %v (vals=%v)", i, c, want[i], vals)
+			}
+		}
+
+		edges := make([]float64, bins+1)
+		for i := range edges {
+			edges[i] = float64(i) / float64(bins)
+		}
+		irr, err := NewIrregular(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			irr.Add(v) // must not panic for any input
+			if math.IsNaN(v) && irr.BinIndex(v) != 0 {
+				t.Fatalf("NaN bin = %d, want 0", irr.BinIndex(v))
+			}
+		}
+		if irr.Total() != float64(len(vals)) {
+			t.Fatalf("irregular total = %v, added %d values", irr.Total(), len(vals))
+		}
+	})
+}

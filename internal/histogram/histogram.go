@@ -70,14 +70,17 @@ func (h *Histogram) BinIndex(v float64) int {
 	if math.IsNaN(v) {
 		return 0
 	}
-	i := int(math.Floor((v - h.min) / h.BinWidth()))
-	if i < 0 {
+	// Clamp in float space: converting an out-of-range float (e.g. from
+	// v = +Inf or a huge finite score) straight to int overflows to a
+	// negative value and used to send +Inf to bin 0 instead of the last bin.
+	f := math.Floor((v - h.min) / h.BinWidth())
+	if f < 0 {
 		return 0
 	}
-	if i >= len(h.counts) {
+	if f >= float64(len(h.counts)) {
 		return len(h.counts) - 1
 	}
-	return i
+	return int(f)
 }
 
 // BinIndices maps every value in vs to its bin index under h's binning in

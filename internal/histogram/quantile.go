@@ -2,6 +2,7 @@ package histogram
 
 import (
 	"errors"
+	"math"
 	"sort"
 )
 
@@ -74,9 +75,12 @@ func (h *Irregular) Bins() int { return len(h.counts) }
 // Total returns the total recorded mass.
 func (h *Irregular) Total() float64 { return h.total }
 
-// BinIndex locates the bin for v, clamping out-of-range values.
+// BinIndex locates the bin for v, clamping out-of-range values. NaN maps to
+// bin 0, mirroring Histogram.BinIndex; without the explicit check it falls
+// through every ordered comparison and SearchFloat64s walks off the edge
+// slice (found by fuzzing, corpus entry under testdata/fuzz/FuzzIrregular).
 func (h *Irregular) BinIndex(v float64) int {
-	if v <= h.edges[0] {
+	if math.IsNaN(v) || v <= h.edges[0] {
 		return 0
 	}
 	if v >= h.edges[len(h.edges)-1] {

@@ -1,0 +1,160 @@
+// Differential tests for the exhaustive enumerators against the testkit
+// oracles. External test package: testkit imports partition, so these live
+// in partition_test to avoid the cycle.
+package partition_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/partition"
+	"fairrank/internal/testkit"
+)
+
+// fullFactorial builds a dataset with exactly one worker in every cell of a
+// Gender(2) × Language(3) cross product, so cell structure is known exactly:
+// 6 non-empty cells, one row each.
+func fullFactorial(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	schema := &dataset.Schema{
+		Protected: []dataset.Attribute{
+			dataset.Cat("Gender", "male", "female"),
+			dataset.Cat("Language", "en", "fr", "de"),
+		},
+		Observed: []dataset.Attribute{dataset.Num("Score", 0, 1, 1)},
+	}
+	b := dataset.NewBuilder(schema)
+	id := 0
+	for _, g := range []string{"male", "female"} {
+		for _, l := range []string{"en", "fr", "de"} {
+			b.Add(fmt.Sprintf("w%d", id),
+				map[string]any{"Gender": g, "Language": l},
+				map[string]any{"Score": float64(id) / 6})
+			id++
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// blocksOf projects a yielded partitioning onto its row-index blocks in the
+// oracle's canonical key form.
+func blocksOf(pt *partition.Partitioning) string {
+	blocks := make([][]int, 0, len(pt.Parts))
+	for _, p := range pt.Parts {
+		blocks = append(blocks, p.Indices)
+	}
+	return testkit.BlockKey(blocks)
+}
+
+// EnumerateCellGroupings over k non-empty single-row cells must yield
+// exactly the Bell(k) set partitions the oracle enumerates by recursive
+// block insertion — same count, same canonical keys, no duplicates.
+func TestCellGroupingsMatchOracleSetPartitions(t *testing.T) {
+	var o testkit.Oracle
+	ds := fullFactorial(t)
+
+	want := map[string]bool{}
+	for _, blocks := range o.SetPartitions(6) {
+		want[testkit.BlockKey(blocks)] = true
+	}
+	if len(want) != o.Bell(6) {
+		t.Fatalf("oracle produced %d keys, Bell(6)=%d", len(want), o.Bell(6))
+	}
+
+	got := map[string]bool{}
+	err := partition.EnumerateCellGroupings(ds, []int{0, 1}, 10000, func(pt *partition.Partitioning) bool {
+		if err := pt.Validate(ds); err != nil {
+			t.Fatalf("yielded invalid partitioning: %v", err)
+		}
+		key := blocksOf(pt)
+		if got[key] {
+			t.Fatalf("duplicate grouping %q", key)
+		}
+		got[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d groupings, oracle has %d", len(got), len(want))
+	}
+	for key := range got {
+		if !want[key] {
+			t.Fatalf("enumerator yielded %q, unknown to the oracle", key)
+		}
+	}
+}
+
+// The budget must bite exactly: Bell(6)=203 groupings fit in a budget of
+// 203 but not 202.
+func TestCellGroupingsBudget(t *testing.T) {
+	ds := fullFactorial(t)
+	count := 0
+	if err := partition.EnumerateCellGroupings(ds, []int{0, 1}, 203, func(*partition.Partitioning) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatalf("budget 203: %v (yielded %d)", err, count)
+	}
+	err := partition.EnumerateCellGroupings(ds, []int{0, 1}, 202, func(*partition.Partitioning) bool { return true })
+	if !errors.Is(err, partition.ErrBudgetExceeded) {
+		t.Fatalf("budget 202: got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// EnumerateTrees on a full-factorial dataset (every split realizes every
+// value) must yield exactly CountTrees(cardinalities) partitionings, each a
+// valid full disjoint cover.
+func TestEnumerateTreesMatchesCountTrees(t *testing.T) {
+	ds := fullFactorial(t)
+	want := partition.CountTrees([]int{2, 3})
+	count := 0
+	err := partition.EnumerateTrees(ds, []int{0, 1}, 100000, func(pt *partition.Partitioning) bool {
+		if err := pt.Validate(ds); err != nil {
+			t.Fatalf("yielded invalid partitioning: %v", err)
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(count) != want {
+		t.Fatalf("enumerated %d trees, CountTrees = %v", count, want)
+	}
+}
+
+// On arbitrary generated datasets (empty cells, skewed sizes) every yielded
+// partitioning from both enumerators must still be a valid cover.
+func TestEnumeratorsAlwaysYieldValidCovers(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		g := testkit.NewGen(seed)
+		ds, err := g.WorkerDataset(g.R.IntRange(1, 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		attrs := []int{0}
+		if len(ds.Schema().Protected) > 1 {
+			attrs = append(attrs, 1)
+		}
+		check := func(pt *partition.Partitioning) bool {
+			if err := pt.Validate(ds); err != nil {
+				t.Fatalf("seed %d: invalid partitioning: %v", seed, err)
+			}
+			return true
+		}
+		if err := partition.EnumerateTrees(ds, attrs, 5000, check); err != nil && !errors.Is(err, partition.ErrBudgetExceeded) {
+			t.Fatalf("seed %d: EnumerateTrees: %v", seed, err)
+		}
+		if err := partition.EnumerateCellGroupings(ds, attrs, 5000, check); err != nil && !errors.Is(err, partition.ErrBudgetExceeded) {
+			t.Fatalf("seed %d: EnumerateCellGroupings: %v", seed, err)
+		}
+	}
+}

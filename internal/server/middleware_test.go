@@ -7,7 +7,6 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 )
 
 func TestRecoveryMiddleware(t *testing.T) {
@@ -73,7 +72,9 @@ func TestLoggingMiddlewareNilDisables(t *testing.T) {
 
 func TestSemaphoreMiddleware(t *testing.T) {
 	release := make(chan struct{})
+	entered := make(chan struct{}, 2)
 	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
 		<-release
 		w.WriteHeader(http.StatusOK)
 	})
@@ -91,8 +92,10 @@ func TestSemaphoreMiddleware(t *testing.T) {
 			errs <- err
 		}()
 	}
-	// Give the two in-flight requests time to occupy the slots.
-	time.Sleep(100 * time.Millisecond)
+	// Both in-flight requests signal once they hold a slot; only then can
+	// the third request deterministically see a full semaphore.
+	<-entered
+	<-entered
 	resp, err := http.Get(ts.URL)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -605,14 +606,19 @@ func TestAuditClientDisconnect(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	req := httptest.NewRequest(http.MethodPost, "/v1/audits", bytes.NewReader(raw)).WithContext(ctx)
+	// The body reader signals when the handler has drained the request, so
+	// the cancel deterministically lands after the audit is underway instead
+	// of racing a fixed sleep against the scheduler.
+	bodyRead := make(chan struct{})
+	body := &eofSignalReader{r: bytes.NewReader(raw), eof: bodyRead, remain: len(raw)}
+	req := httptest.NewRequest(http.MethodPost, "/v1/audits", body).WithContext(ctx)
 	rec := httptest.NewRecorder()
 	done := make(chan struct{})
 	go func() {
 		s.Handler().ServeHTTP(rec, req)
 		close(done)
 	}()
-	time.Sleep(100 * time.Millisecond)
+	<-bodyRead
 	cancel()
 	select {
 	case <-done:
@@ -625,4 +631,26 @@ func TestAuditClientDisconnect(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/audits", &all); code != http.StatusOK || len(all) != 0 {
 		t.Fatalf("audits after disconnect: code %d, %d stored", code, len(all))
 	}
+}
+
+// eofSignalReader closes eof once every one of the remain expected bytes
+// has been delivered (or the underlying reader reports EOF), marking the
+// moment a handler has consumed the request body. Counting bytes matters:
+// json.Decoder stops after the final close brace without ever reading the
+// terminal EOF, so an EOF-only signal would never fire.
+type eofSignalReader struct {
+	r        io.Reader
+	eof      chan struct{}
+	remain   int
+	signaled bool
+}
+
+func (s *eofSignalReader) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	s.remain -= n
+	if (s.remain <= 0 || err == io.EOF) && !s.signaled {
+		s.signaled = true
+		close(s.eof)
+	}
+	return n, err
 }

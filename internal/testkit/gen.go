@@ -1,0 +1,262 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/partition"
+	"fairrank/internal/rng"
+	"fairrank/internal/scoring"
+)
+
+// Gen derives arbitrary-but-reproducible test inputs from a single seed.
+// Every method consumes from the same deterministic stream, so a failing
+// (seed, size) pair replays exactly; sizes are explicit parameters so
+// quickcheck-style callers can shrink by re-running with smaller sizes.
+type Gen struct {
+	R *rng.RNG
+}
+
+// NewGen returns a generator for the given seed.
+func NewGen(seed uint64) *Gen { return &Gen{R: rng.New(seed)} }
+
+// Schema generates a random worker schema: 1–4 protected attributes (mixed
+// categorical and bucketized numeric, cardinality 2–4) plus a single
+// observed "Score" attribute spanning [0,1] so ScoreFunc can read scores
+// straight off the dataset.
+func (g *Gen) Schema() *dataset.Schema {
+	nAttrs := g.R.IntRange(1, 4)
+	prot := make([]dataset.Attribute, nAttrs)
+	for i := range prot {
+		card := g.R.IntRange(2, 4)
+		name := fmt.Sprintf("P%d", i)
+		if g.R.Intn(2) == 0 {
+			vals := make([]string, card)
+			for v := range vals {
+				vals[v] = fmt.Sprintf("v%d", v)
+			}
+			prot[i] = dataset.Cat(name, vals...)
+		} else {
+			prot[i] = dataset.Num(name, 0, 100, card)
+		}
+	}
+	return &dataset.Schema{
+		Protected: prot,
+		Observed:  []dataset.Attribute{dataset.Num("Score", 0, 1, 1)},
+	}
+}
+
+// Dataset populates schema with n random workers. Scores are uniform in
+// [0,1); protected values are uniform over each attribute's domain.
+func (g *Gen) Dataset(schema *dataset.Schema, n int) (*dataset.Dataset, error) {
+	b := dataset.NewBuilder(schema)
+	for i := 0; i < n; i++ {
+		protVals := map[string]any{}
+		for _, a := range schema.Protected {
+			if a.Kind == dataset.Categorical {
+				protVals[a.Name] = a.Values[g.R.Intn(len(a.Values))]
+			} else {
+				protVals[a.Name] = g.R.FloatRange(a.Min, a.Max)
+			}
+		}
+		b.Add(fmt.Sprintf("w%d", i), protVals, map[string]any{"Score": g.R.Float64()})
+	}
+	return b.Build()
+}
+
+// WorkerDataset is Schema + Dataset in one call.
+func (g *Gen) WorkerDataset(n int) (*dataset.Dataset, error) {
+	return g.Dataset(g.Schema(), n)
+}
+
+// ScoreFunc returns the identity scoring function over the generated
+// schemas' "Score" observed attribute.
+func ScoreFunc() scoring.Func {
+	return scoring.ScoreFunc{
+		FuncName: "testkit-identity",
+		Fn:       func(ds *dataset.Dataset, i int) float64 { return ds.Observed(0, i) },
+	}
+}
+
+// Scores returns n uniform scores in [0,1).
+func (g *Gen) Scores(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.R.Float64()
+	}
+	return out
+}
+
+// PMF returns a random probability mass function over the given bin count.
+// Roughly a third of draws are sparse (most bins empty) and point masses
+// occur, exercising the degenerate shapes that break naive distance code.
+func (g *Gen) PMF(bins int) []float64 {
+	out := make([]float64, bins)
+	switch g.R.Intn(3) {
+	case 0: // point mass
+		out[g.R.Intn(bins)] = 1
+		return out
+	case 1: // sparse
+		k := g.R.IntRange(1, 3)
+		for i := 0; i < k; i++ {
+			out[g.R.Intn(bins)] += g.R.Float64() + 1e-3
+		}
+	default: // dense
+		for i := range out {
+			out[i] = g.R.Float64()
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Partitioning returns a random hierarchical-split partitioning of ds: a
+// random subset of attributes in random order, each partition independently
+// either kept as a leaf or split further — exactly the space the paper's
+// tree algorithms navigate, so every generated value is a valid full
+// disjoint cover (callers may still Validate).
+func (g *Gen) Partitioning(ds *dataset.Dataset) *partition.Partitioning {
+	attrs := g.R.Perm(len(ds.Schema().Protected))
+	attrs = attrs[:g.R.IntRange(1, len(attrs))]
+	parts := []*partition.Partition{partition.Root(ds)}
+	for _, a := range attrs {
+		var next []*partition.Partition
+		for _, p := range parts {
+			if g.R.Intn(4) == 0 { // keep this branch as a leaf
+				next = append(next, p)
+				continue
+			}
+			next = append(next, partition.Split(ds, p, a)...)
+		}
+		parts = next
+	}
+	return &partition.Partitioning{Parts: parts}
+}
+
+// IndexParts returns the partitioning's parts as bare row-index slices, the
+// shape the Oracle consumes.
+func IndexParts(pt *partition.Partitioning) [][]int {
+	out := make([][]int, len(pt.Parts))
+	for i, p := range pt.Parts {
+		out[i] = p.Indices
+	}
+	return out
+}
+
+// EventKind discriminates monitor stream events.
+type EventKind int
+
+const (
+	// EventJoin adds a worker.
+	EventJoin EventKind = iota
+	// EventLeave removes a previously joined worker.
+	EventLeave
+	// EventRescore changes a previously joined worker's score.
+	EventRescore
+)
+
+// Event is one worker lifecycle event for streaming-monitor tests. Group is
+// an abstract group index; the consuming test maps it onto whatever
+// protected-attribute encoding its monitor uses. Streams produced by Events
+// are always valid: Leave and Rescore only ever reference live workers.
+type Event struct {
+	Kind  EventKind
+	ID    string
+	Group int
+	Score float64
+}
+
+// Events generates a valid stream of n events over the given number of
+// groups, biased toward joins so the population grows. The final live set
+// can be reconstructed by replaying the stream.
+func (g *Gen) Events(groups, n int) []Event {
+	type live struct {
+		id    string
+		group int
+	}
+	var pool []live
+	next := 0
+	out := make([]Event, 0, n)
+	for len(out) < n {
+		op := g.R.Intn(4)
+		if len(pool) == 0 {
+			op = 0
+		}
+		switch op {
+		case 0, 1: // join
+			w := live{id: fmt.Sprintf("w%d", next), group: g.R.Intn(groups)}
+			next++
+			pool = append(pool, w)
+			out = append(out, Event{Kind: EventJoin, ID: w.id, Group: w.group, Score: g.R.Float64()})
+		case 2: // leave
+			x := g.R.Intn(len(pool))
+			w := pool[x]
+			pool[x] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			out = append(out, Event{Kind: EventLeave, ID: w.id, Group: w.group})
+		default: // rescore
+			w := pool[g.R.Intn(len(pool))]
+			out = append(out, Event{Kind: EventRescore, ID: w.id, Group: w.group, Score: g.R.Float64()})
+		}
+	}
+	return out
+}
+
+// Joins generates a joins-only stream: n arrivals spread over the given
+// group count. Joins targeting distinct workers commute, so any permutation
+// of the stream must leave a correct monitor in an identical state — the
+// commutativity half of the monitor's metamorphic suite.
+func (g *Gen) Joins(groups, n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{Kind: EventJoin, ID: fmt.Sprintf("w%d", i), Group: g.R.Intn(groups), Score: g.R.Float64()}
+	}
+	return out
+}
+
+// FiniteFloats maps raw fuzz bytes onto a slice of finite floats in a
+// fuzzer-friendly way: each byte becomes one value in [0, 1.275] (so values
+// above histogram range occur), with a small number of exact 0 and 1
+// endpoints. Shared by the fuzz targets so corpus entries stay portable
+// byte strings.
+func FiniteFloats(data []byte) []float64 {
+	out := make([]float64, len(data))
+	for i, b := range data {
+		out[i] = float64(b) / 200 // [0, 1.275]
+	}
+	return out
+}
+
+// SpecialFloats maps raw fuzz bytes onto floats including the adversarial
+// specials: bytes 250–255 decode to NaN, ±Inf, -1, 2, and exact 1;
+// everything else lands in [0, 1.245]. Used by targets whose contract must
+// hold for garbage inputs (histogram clamping, never-panic checks).
+func SpecialFloats(data []byte) []float64 {
+	out := make([]float64, len(data))
+	for i, b := range data {
+		switch b {
+		case 255:
+			out[i] = math.NaN()
+		case 254:
+			out[i] = math.Inf(1)
+		case 253:
+			out[i] = math.Inf(-1)
+		case 252:
+			out[i] = -1
+		case 251:
+			out[i] = 2
+		case 250:
+			out[i] = 1
+		default:
+			out[i] = float64(b) / 200
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package testkit
+
+import (
+	"math"
+	"testing"
+)
+
+// Tol is the default comparison tolerance for engine-vs-oracle values whose
+// summation orders legitimately differ. Paths contracted to be bit-identical
+// should compare with == instead.
+const Tol = 1e-9
+
+// DistFunc is a PMF distance parameterized by the ground distance between
+// adjacent bins — the shape of emd.PMFDistance and of every oracle
+// candidate for it.
+type DistFunc func(p, q []float64, unit float64) float64
+
+// CheckEMDProperties runs the metamorphic suite for a 1-D EMD implementation
+// over `trials` generated PMF pairs (seeds 1..trials, so failures name their
+// seed). The properties hold for any correct EMD regardless of algorithm:
+//
+//   - metric axioms: identity, symmetry, non-negativity, triangle inequality
+//   - scale: doubling the ground unit doubles the distance
+//   - translation: shifting both PMFs by the same number of zero bins is
+//     distance-preserving
+//   - bin refinement: interleaving r−1 zero bins between entries while
+//     dividing the unit by r is distance-preserving (the refined histogram
+//     places the same mass at the same ground positions)
+//   - oracle agreement: the value matches the explicit-flow oracle within Tol
+func CheckEMDProperties(t *testing.T, name string, dist DistFunc, trials int) {
+	t.Helper()
+	var o Oracle
+	for seed := uint64(1); seed <= uint64(trials); seed++ {
+		g := NewGen(seed)
+		bins := g.R.IntRange(1, 40)
+		p := g.PMF(bins)
+		q := g.PMF(bins)
+		r := g.PMF(bins)
+		unit := g.R.FloatRange(0.01, 2)
+
+		d := dist(p, q, unit)
+		if d < 0 {
+			t.Fatalf("%s seed %d: dist = %v, negative", name, seed, d)
+		}
+		if self := dist(p, p, unit); math.Abs(self) > Tol {
+			t.Fatalf("%s seed %d: dist(p,p) = %v, want 0", name, seed, self)
+		}
+		if back := dist(q, p, unit); math.Abs(back-d) > Tol {
+			t.Fatalf("%s seed %d: asymmetric: %v vs %v", name, seed, d, back)
+		}
+		if pr, pq, qr := dist(p, r, unit), d, dist(q, r, unit); pr > pq+qr+Tol {
+			t.Fatalf("%s seed %d: triangle violated: d(p,r)=%v > d(p,q)+d(q,r)=%v", name, seed, pr, pq+qr)
+		}
+		if scaled := dist(p, q, 2*unit); math.Abs(scaled-2*d) > Tol {
+			t.Fatalf("%s seed %d: unit doubled: %v, want %v", name, seed, scaled, 2*d)
+		}
+		shift := g.R.IntRange(1, 5)
+		if shifted := dist(shiftPMF(p, shift), shiftPMF(q, shift), unit); math.Abs(shifted-d) > Tol {
+			t.Fatalf("%s seed %d: translation by %d bins changed %v to %v", name, seed, shift, d, shifted)
+		}
+		refine := g.R.IntRange(2, 4)
+		if ref := dist(refinePMF(p, refine), refinePMF(q, refine), unit/float64(refine)); math.Abs(ref-d) > Tol {
+			t.Fatalf("%s seed %d: %d-refinement changed %v to %v", name, seed, refine, d, ref)
+		}
+		if want := o.EMDFlow(p, q, unit); math.Abs(d-want) > Tol {
+			t.Fatalf("%s seed %d: dist = %v, flow oracle %v", name, seed, d, want)
+		}
+	}
+}
+
+// shiftPMF appends k zero bins before the PMF (and keeps total length
+// len(p)+k so both arguments stay comparable).
+func shiftPMF(p []float64, k int) []float64 {
+	out := make([]float64, len(p)+k)
+	copy(out[k:], p)
+	return out
+}
+
+// refinePMF subdivides each bin into r sub-bins with all mass on the first,
+// preserving every lump's ground position when the unit shrinks by r.
+func refinePMF(p []float64, r int) []float64 {
+	out := make([]float64, len(p)*r)
+	for i, v := range p {
+		out[i*r] = v
+	}
+	return out
+}
+
+// UnfairnessFunc evaluates Definition 2 over a score column and a list of
+// row-index parts with the given histogram bin count — the shape the core
+// engine, the repair package and the oracle all reduce to in binned
+// GroundScore mode.
+type UnfairnessFunc func(scores []float64, parts [][]int, bins int) float64
+
+// CheckUnfairnessOracle runs the differential-plus-metamorphic suite for an
+// average-pairwise-unfairness implementation over `trials` generated
+// datasets: oracle agreement within Tol, invariance under part order
+// permutation, invariance under within-part row shuffles, and the
+// merge-then-split identity (splitting one part into two sub-parts and
+// merging them back reproduces the original value).
+func CheckUnfairnessOracle(t *testing.T, name string, fn UnfairnessFunc, trials int) {
+	t.Helper()
+	var o Oracle
+	for seed := uint64(1); seed <= uint64(trials); seed++ {
+		g := NewGen(seed)
+		n := g.R.IntRange(2, 200)
+		scores := g.Scores(n)
+		bins := g.R.IntRange(1, 20)
+		parts := RandomParts(g, n)
+
+		got := fn(scores, parts, bins)
+		want := o.Unfairness(scores, parts, bins)
+		if math.Abs(got-want) > Tol {
+			t.Fatalf("%s seed %d: unfairness = %v, oracle %v (n=%d k=%d bins=%d)",
+				name, seed, got, want, n, len(parts), bins)
+		}
+
+		perm := g.R.Perm(len(parts))
+		shuffled := make([][]int, len(parts))
+		for i, pi := range perm {
+			shuffled[i] = parts[pi]
+		}
+		if v := fn(scores, shuffled, bins); math.Abs(v-got) > Tol {
+			t.Fatalf("%s seed %d: part order changed %v to %v", name, seed, got, v)
+		}
+
+		rowShuffled := make([][]int, len(parts))
+		for i, part := range parts {
+			cp := append([]int(nil), part...)
+			g.R.Shuffle(len(cp), func(a, b int) { cp[a], cp[b] = cp[b], cp[a] })
+			rowShuffled[i] = cp
+		}
+		if v := fn(scores, rowShuffled, bins); math.Abs(v-got) > Tol {
+			t.Fatalf("%s seed %d: row order changed %v to %v", name, seed, got, v)
+		}
+
+		// Merge-then-split: cutting parts[0] in half and rejoining is the
+		// identity on the part, so evaluating [first+second, rest...] must
+		// reproduce the original value even when the halves were shuffled.
+		if len(parts[0]) >= 2 {
+			half := len(parts[0]) / 2
+			rejoined := append(append([]int{}, parts[0][half:]...), parts[0][:half]...)
+			merged := append([][]int{rejoined}, parts[1:]...)
+			if v := fn(scores, merged, bins); math.Abs(v-got) > Tol {
+				t.Fatalf("%s seed %d: merge-then-split changed %v to %v", name, seed, got, v)
+			}
+		}
+	}
+}
+
+// RandomParts partitions rows 0..n-1 into 2–8 random non-empty groups, the
+// bare-index-set shape the oracle consumes.
+func RandomParts(g *Gen, n int) [][]int {
+	k := g.R.IntRange(2, 8)
+	if k > n {
+		k = n
+	}
+	parts := make([][]int, k)
+	// Guarantee non-empty parts, then scatter the rest.
+	rows := g.R.Perm(n)
+	for i := 0; i < k; i++ {
+		parts[i] = append(parts[i], rows[i])
+	}
+	for _, row := range rows[k:] {
+		x := g.R.Intn(k)
+		parts[x] = append(parts[x], row)
+	}
+	return parts
+}
