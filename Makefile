@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHCOUNT ?= 7
 
-.PHONY: build test bench bench-monitor verify fuzz-smoke cover
+.PHONY: build test bench bench-monitor bench-json telemetry-overhead verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -18,6 +19,31 @@ bench:
 # from-scratch recompute baseline, across group counts.
 bench-monitor:
 	$(GO) test -run '^$$' -bench 'BenchmarkMonitor' -benchmem ./internal/monitor/
+
+# bench-json emits BENCH_4.json: the telemetry-overhead benchmark parsed
+# into JSON plus the engine's full telemetry snapshot from an
+# instrumented reference audit. Format documented in EXPERIMENTS.md.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchmem -benchtime 2000x -count 3 ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_4.json
+
+# telemetry-overhead is the CI gate for the observability layer: the
+# always-on metrics path (what fairserve enables per request) must stay
+# within 5% of the uninstrumented baseline, and the opt-in span-tracing
+# path within a loose 30% tripwire (its fixed per-span cost is magnified
+# by the deliberately tiny benchmark audit). BENCHCOUNT separate short
+# `go test` rounds — each emitting all three variants back to back —
+# rather than one -count run, because benchdiff pairs same-round lines
+# and takes the median of per-round ratios; grouped repetition would
+# reintroduce the host-load drift the pairing exists to cancel.
+telemetry-overhead:
+	@rm -f /tmp/telemetry-bench.txt
+	@for i in $$(seq $(BENCHCOUNT)); do \
+		$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 2000x -count 1 ./internal/core/ >> /tmp/telemetry-bench.txt || exit 1; \
+	done
+	@grep ns/op /tmp/telemetry-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'telemetry=off' -candidate 'telemetry=metrics' -max-overhead 5 < /tmp/telemetry-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'telemetry=off' -candidate 'telemetry=trace' -max-overhead 30 < /tmp/telemetry-bench.txt
 
 # verify is the gate for changes to the evaluation engine: static checks
 # plus the race detector over the whole module. Every package rides along —
@@ -41,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run '^$$' -fuzz '^FuzzPrometheus$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 
 # cover writes a module-wide coverage profile (uploaded as a CI artifact).
 cover:

@@ -1,0 +1,110 @@
+// Command benchdiff is the CI telemetry-overhead gate. It reads
+// `go test -bench -count N` output from stdin, groups the repeated
+// runs of a baseline and a candidate sub-benchmark, compares their
+// median ns/op and exits non-zero when the candidate is more than
+// -max-overhead percent slower:
+//
+//	go test -run '^$' -bench BenchmarkTelemetryOverhead -count 5 ./internal/core/ |
+//	    benchdiff -max-overhead 5
+//
+// Medians over several -count repetitions, not single runs, keep one
+// noisy scheduling hiccup from failing the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"fairrank/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		maxOverhead = flag.Float64("max-overhead", 5, "fail when the candidate's median ns/op exceeds the baseline's by more than this percentage")
+		baseSub     = flag.String("baseline", "telemetry=off", "substring selecting baseline benchmark lines")
+		candSub     = flag.String("candidate", "telemetry=on", "substring selecting candidate benchmark lines")
+	)
+	flag.Parse()
+	cmp, err := compare(os.Stdin, *baseSub, *candSub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline  (%s): median %.0f ns/op over %d runs\n", *baseSub, cmp.baseMedian, cmp.baseRuns)
+	fmt.Printf("candidate (%s): median %.0f ns/op over %d runs\n", *candSub, cmp.candMedian, cmp.candRuns)
+	how := "median vs median"
+	if cmp.paired {
+		how = fmt.Sprintf("median of %d per-round ratios", cmp.baseRuns)
+	}
+	fmt.Printf("overhead: %+.2f%% (%s, limit %.2f%%)\n", cmp.overheadPct, how, *maxOverhead)
+	if cmp.overheadPct > *maxOverhead {
+		log.Fatalf("overhead %.2f%% exceeds the %.2f%% budget", cmp.overheadPct, *maxOverhead)
+	}
+}
+
+type comparison struct {
+	baseMedian, candMedian float64
+	baseRuns, candRuns     int
+	overheadPct            float64
+	paired                 bool
+}
+
+// compare parses benchmark output and reduces the baseline and
+// candidate series to an overhead percentage. When both series have the
+// same number of runs — the normal case, each `go test -count` round
+// emitting one line per variant — the k-th baseline run is paired with
+// the k-th candidate run and the overhead is the median of the
+// per-round ratios. Rounds close in time see the same machine load, so
+// pairing cancels the slow drift of a busy host that would bias a
+// plain median-vs-median comparison (every baseline group finishing
+// before the first candidate run starts). Unequal run counts fall back
+// to median-vs-median.
+func compare(r io.Reader, baseSub, candSub string) (comparison, error) {
+	results, err := benchfmt.Parse(r)
+	if err != nil {
+		return comparison{}, err
+	}
+	var base, cand []float64
+	for _, res := range results {
+		// Candidate first: guard against one substring containing the
+		// other ("telemetry=off" contains neither, but stay order-safe).
+		switch {
+		case strings.Contains(res.Name, candSub):
+			cand = append(cand, res.NsPerOp)
+		case strings.Contains(res.Name, baseSub):
+			base = append(base, res.NsPerOp)
+		}
+	}
+	if len(base) == 0 || len(cand) == 0 {
+		return comparison{}, fmt.Errorf("need both %q (%d runs) and %q (%d runs) in the input",
+			baseSub, len(base), candSub, len(cand))
+	}
+	c := comparison{
+		baseMedian: benchfmt.Median(base),
+		candMedian: benchfmt.Median(cand),
+		baseRuns:   len(base),
+		candRuns:   len(cand),
+	}
+	if c.baseMedian <= 0 {
+		return comparison{}, fmt.Errorf("baseline median is %v ns/op", c.baseMedian)
+	}
+	if len(base) == len(cand) {
+		ratios := make([]float64, len(base))
+		for i := range base {
+			if base[i] <= 0 {
+				return comparison{}, fmt.Errorf("baseline run %d is %v ns/op", i+1, base[i])
+			}
+			ratios[i] = cand[i] / base[i]
+		}
+		c.overheadPct = (benchfmt.Median(ratios) - 1) * 100
+		c.paired = true
+	} else {
+		c.overheadPct = (c.candMedian - c.baseMedian) / c.baseMedian * 100
+	}
+	return c, nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func lines(pairs ...[2]interface{}) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\n")
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "BenchmarkTelemetryOverhead/%s-8 \t 5\t %d ns/op\n", p[0], p[1])
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+func TestComparePairedRatios(t *testing.T) {
+	in := lines(
+		[2]interface{}{"telemetry=off", 100},
+		[2]interface{}{"telemetry=on", 103},
+		[2]interface{}{"telemetry=off", 100},
+		[2]interface{}{"telemetry=on", 105},
+		[2]interface{}{"telemetry=off", 100},
+		[2]interface{}{"telemetry=on", 103},
+	)
+	cmp, err := compare(strings.NewReader(in), "telemetry=off", "telemetry=on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.paired {
+		t.Fatal("equal run counts should be paired")
+	}
+	if cmp.baseRuns != 3 || cmp.candRuns != 3 {
+		t.Errorf("run counts = %d / %d, want 3 / 3", cmp.baseRuns, cmp.candRuns)
+	}
+	if math.Abs(cmp.overheadPct-3) > 1e-9 {
+		t.Errorf("overhead = %v%%, want 3%% (median ratio)", cmp.overheadPct)
+	}
+}
+
+func TestComparePairingCancelsDrift(t *testing.T) {
+	// Round 2 runs on a machine twice as loaded as round 1; the absolute
+	// numbers double but the per-round ratio stays 1%, and that is what
+	// the gate must see.
+	in := lines(
+		[2]interface{}{"telemetry=off", 10000},
+		[2]interface{}{"telemetry=on", 10100},
+		[2]interface{}{"telemetry=off", 20000},
+		[2]interface{}{"telemetry=on", 20200},
+	)
+	cmp, err := compare(strings.NewReader(in), "telemetry=off", "telemetry=on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.overheadPct-1) > 1e-9 {
+		t.Errorf("overhead = %v%%, want 1%%", cmp.overheadPct)
+	}
+}
+
+func TestCompareUnpairedFallsBackToMedians(t *testing.T) {
+	in := lines(
+		[2]interface{}{"telemetry=off", 100},
+		[2]interface{}{"telemetry=off", 102},
+		[2]interface{}{"telemetry=off", 90},
+		[2]interface{}{"telemetry=on", 104},
+		[2]interface{}{"telemetry=on", 102},
+	)
+	cmp, err := compare(strings.NewReader(in), "telemetry=off", "telemetry=on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.paired {
+		t.Fatal("unequal run counts must not be paired")
+	}
+	if cmp.baseMedian != 100 || cmp.candMedian != 103 {
+		t.Fatalf("medians = %v / %v, want 100 / 103", cmp.baseMedian, cmp.candMedian)
+	}
+	if math.Abs(cmp.overheadPct-3) > 1e-9 {
+		t.Errorf("overhead = %v%%, want 3%%", cmp.overheadPct)
+	}
+}
+
+func TestCompareNegativeOverhead(t *testing.T) {
+	in := lines(
+		[2]interface{}{"telemetry=off", 100},
+		[2]interface{}{"telemetry=on", 95},
+	)
+	cmp, err := compare(strings.NewReader(in), "telemetry=off", "telemetry=on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.overheadPct >= 0 {
+		t.Errorf("overhead = %v%%, want negative", cmp.overheadPct)
+	}
+}
+
+func TestCompareMissingSeries(t *testing.T) {
+	in := lines([2]interface{}{"telemetry=off", 100})
+	if _, err := compare(strings.NewReader(in), "telemetry=off", "telemetry=on"); err == nil {
+		t.Fatal("expected error with no candidate runs")
+	}
+	if _, err := compare(strings.NewReader("PASS\n"), "off", "on"); err == nil {
+		t.Fatal("expected error with empty input")
+	}
+}

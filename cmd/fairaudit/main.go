@@ -30,6 +30,7 @@ import (
 	"fairrank/internal/report"
 	"fairrank/internal/scoring"
 	"fairrank/internal/simulate"
+	"fairrank/internal/telemetry"
 )
 
 func main() {
@@ -54,16 +55,17 @@ func main() {
 		idCol    = flag.String("id", "", "infer schema from -data: worker-id column (default row numbers)")
 		describe = flag.Bool("describe", false, "print a population profile before auditing")
 		timeout  = flag.Duration("timeout", 0, "abort the audit after this long (0 = no deadline)")
+		telJSON  = flag.String("telemetry-json", "", "write engine metrics and the audit's span tree as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout); err != nil {
+	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout, *telJSON); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha float64,
 	weightSpec string, bins int, metricName, attrSpec string, figure, tree bool, sigRounds int, explainAttrs bool,
-	protCols, obsCols, idCol string, describe bool, timeout time.Duration) error {
+	protCols, obsCols, idCol string, describe bool, timeout time.Duration, telJSON string) error {
 
 	ds, err := loadDataset(dataFile, gen, seed, protCols, obsCols, idCol)
 	if err != nil {
@@ -83,7 +85,16 @@ func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha 
 	if err != nil {
 		return err
 	}
-	e, err := core.NewEvaluator(ds, f, core.Config{Bins: bins, Metric: metric})
+	cfg := core.Config{Bins: bins, Metric: metric}
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+	)
+	if telJSON != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Metrics = reg
+	}
+	e, err := core.NewEvaluator(ds, f, cfg)
 	if err != nil {
 		return err
 	}
@@ -98,6 +109,9 @@ func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	if telJSON != "" {
+		ctx, tracer = telemetry.WithTracer(ctx, "fairaudit")
+	}
 	res, err := core.Run(ctx, core.Spec{
 		Algorithm: algo,
 		Evaluator: e,
@@ -106,6 +120,11 @@ func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha 
 	})
 	if err != nil {
 		return err
+	}
+	if telJSON != "" {
+		if err := telemetry.WriteReportFile(telJSON, tracer, reg); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(w, "dataset: %d workers; function: %s; metric: %s, %d bins\n",

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"fairrank/internal/core"
 	"fairrank/internal/simulate"
+	"fairrank/internal/telemetry"
 )
 
 func TestRunGeneratedDataset(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "", 150, 42, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+	err := run(&b, "", 150, 42, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +29,7 @@ func TestRunGeneratedDataset(t *testing.T) {
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"balanced", "unbalanced", "r-balanced", "r-unbalanced", "all-attributes"} {
 		var b strings.Builder
-		if err := run(&b, "", 100, 1, algo, 1, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0); err != nil {
+		if err := run(&b, "", 100, 1, algo, 1, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, ""); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 	}
@@ -34,7 +37,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 
 func TestRunWithTreeAndFigure(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "", 100, 2, "unbalanced", 0.5, "", 10, "emd", "", true, true, 0, false, "", "", "", false, 0); err != nil {
+	if err := run(&b, "", 100, 2, "unbalanced", 0.5, "", 10, "emd", "", true, true, 0, false, "", "", "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -61,7 +64,7 @@ func TestRunFromCSVFile(t *testing.T) {
 	}
 	f.Close()
 	var b strings.Builder
-	if err := run(&b, path, 0, 3, "all-attributes", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0); err != nil {
+	if err := run(&b, path, 0, 3, "all-attributes", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "60 workers") {
@@ -76,28 +79,28 @@ func TestRunErrors(t *testing.T) {
 		err  func() error
 	}{
 		{"data and gen exclusive", func() error {
-			return run(&b, "x.csv", 10, 1, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "x.csv", 10, 1, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"missing file", func() error {
-			return run(&b, "/nonexistent/x.csv", 0, 1, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "/nonexistent/x.csv", 0, 1, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"bad algorithm", func() error {
-			return run(&b, "", 50, 1, "quantum", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "", 50, 1, "quantum", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"bad alpha", func() error {
-			return run(&b, "", 50, 1, "balanced", 1.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "", 50, 1, "balanced", 1.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"bad metric", func() error {
-			return run(&b, "", 50, 1, "balanced", 0.5, "", 10, "manhattan2", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "", 50, 1, "balanced", 0.5, "", 10, "manhattan2", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"bad weights", func() error {
-			return run(&b, "", 50, 1, "balanced", 0.5, "LanguageTest", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "", 50, 1, "balanced", 0.5, "LanguageTest", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"bad weight value", func() error {
-			return run(&b, "", 50, 1, "balanced", 0.5, "LanguageTest=lots", 10, "emd", "", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "", 50, 1, "balanced", 0.5, "LanguageTest=lots", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 		{"bad attr", func() error {
-			return run(&b, "", 50, 1, "balanced", 0.5, "", 10, "emd", "Charisma", false, false, 0, false, "", "", "", false, 0)
+			return run(&b, "", 50, 1, "balanced", 0.5, "", 10, "emd", "Charisma", false, false, 0, false, "", "", "", false, 0, "")
 		}},
 	}
 	for _, c := range cases {
@@ -109,7 +112,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunWithSignificance(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "", 100, 6, "balanced", 0.5, "", 10, "emd", "", false, false, 50, false, "", "", "", false, 0); err != nil {
+	if err := run(&b, "", 100, 6, "balanced", 0.5, "", 10, "emd", "", false, false, 50, false, "", "", "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -123,7 +126,7 @@ func TestRunWithSignificance(t *testing.T) {
 
 func TestRunWithExplain(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "", 150, 8, "balanced", 1, "", 10, "emd", "", false, false, 0, true, "", "", "", false, 0); err != nil {
+	if err := run(&b, "", 150, 8, "balanced", 1, "", 10, "emd", "", false, false, 0, true, "", "", "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -135,7 +138,7 @@ func TestRunWithExplain(t *testing.T) {
 func TestRunWithWeightsAndAttrs(t *testing.T) {
 	var b strings.Builder
 	err := run(&b, "", 120, 5, "balanced", 0.5,
-		"LanguageTest=0.8,ApprovalRate=0.2", 10, "l1", "Gender,Country", false, false, 0, false, "", "", "", false, 0)
+		"LanguageTest=0.8,ApprovalRate=0.2", 10, "l1", "Gender,Country", false, false, 0, false, "", "", "", false, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,12 +157,42 @@ func TestRunWithInferredSchema(t *testing.T) {
 	}
 	var b strings.Builder
 	err := run(&b, path, 0, 1, "all-attributes", 0.5, "rating=1", 5, "emd", "",
-		false, false, 0, false, "gender,city,age", "rating", "worker", true, 0)
+		false, false, 0, false, "gender,city,age", "rating", "worker", true, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	if !strings.Contains(out, "8 workers") || !strings.Contains(out, "gender=") {
 		t.Errorf("inferred audit output:\n%s", out)
+	}
+}
+
+func TestRunTelemetryJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.json")
+	var b strings.Builder
+	err := run(&b, "", 120, 9, "balanced", 0.5, "", 10, "emd", "", false, false, 0, false, "", "", "", false, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("telemetry dump is not valid JSON: %v", err)
+	}
+	if rep.Spans == nil || rep.Spans.Name != "fairaudit" {
+		t.Fatalf("span tree root = %+v, want name fairaudit", rep.Spans)
+	}
+	phases := map[string]bool{}
+	rep.Spans.Walk(func(st *telemetry.SpanTree) { phases[st.Name] = true })
+	for _, want := range []string{"run", "scan", "probe", "split", "emd", "reduce"} {
+		if !phases[want] {
+			t.Errorf("span tree missing phase %q", want)
+		}
+	}
+	if rep.Metrics.Counters[core.MetricEMDEvaluations] <= 0 {
+		t.Errorf("metrics snapshot missing %s", core.MetricEMDEvaluations)
 	}
 }

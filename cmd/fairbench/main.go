@@ -33,7 +33,30 @@ import (
 	"fairrank/internal/report"
 	"fairrank/internal/scoring"
 	"fairrank/internal/simulate"
+	"fairrank/internal/telemetry"
 )
+
+// benchTelemetry carries the optional -telemetry-json state through the
+// subcommands: a traced context for span capture and a registry the audit
+// evaluators record into. A nil *benchTelemetry disables both.
+type benchTelemetry struct {
+	ctx context.Context
+	reg *telemetry.Registry
+}
+
+func (bt *benchTelemetry) context() context.Context {
+	if bt == nil || bt.ctx == nil {
+		return context.Background()
+	}
+	return bt.ctx
+}
+
+func (bt *benchTelemetry) registry() *telemetry.Registry {
+	if bt == nil {
+		return nil
+	}
+	return bt.reg
+}
 
 func main() {
 	log.SetFlags(0)
@@ -54,6 +77,7 @@ func main() {
 		exDemo  = flag.Bool("exhaustive-demo", false, "demonstrate the exhaustive-search budget blow-up")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		telJSON = flag.String("telemetry-json", "", "write engine metrics and span trees as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if !*figure1 && !*exDemo && !*sweep && *table == "" {
@@ -84,33 +108,47 @@ func main() {
 			}
 		}()
 	}
+	var (
+		bt     *benchTelemetry
+		tracer *telemetry.Tracer
+	)
+	if *telJSON != "" {
+		ctx, tr := telemetry.WithTracer(context.Background(), "fairbench")
+		tracer = tr
+		bt = &benchTelemetry{ctx: ctx, reg: telemetry.NewRegistry()}
+	}
 	if *sweep {
 		n := *workers
 		if n == 0 {
 			n = simulate.SmallPopulation
 		}
-		if err := runSweep(os.Stdout, n, *seed, *bins, *points); err != nil {
+		if err := runSweep(os.Stdout, n, *seed, *bins, *points, bt); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *figure1 {
-		if err := runFigure1(os.Stdout, *bins); err != nil {
+		if err := runFigure1(os.Stdout, *bins, bt); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *exDemo {
-		if err := runExhaustiveDemo(os.Stdout, *seed, *bins); err != nil {
+		if err := runExhaustiveDemo(os.Stdout, *seed, *bins, bt); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *table != "" {
-		if err := runTables(os.Stdout, *table, *workers, *seed, *bins, *csvOut, *mdOut, *jsonOut, *par, *nSeeds); err != nil {
+		if err := runTables(os.Stdout, *table, *workers, *seed, *bins, *csvOut, *mdOut, *jsonOut, *par, *nSeeds, bt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *telJSON != "" {
+		if err := telemetry.WriteReportFile(*telJSON, tracer, bt.reg); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
-func runTables(w io.Writer, table string, workers int, seed uint64, bins int, csvOut, mdOut, jsonOut string, parallel, nSeeds int) error {
+func runTables(w io.Writer, table string, workers int, seed uint64, bins int, csvOut, mdOut, jsonOut string, parallel, nSeeds int, bt *benchTelemetry) error {
 	var specs []simulate.Spec
 	add := func(s simulate.Spec, err error) error {
 		if err != nil {
@@ -119,7 +157,7 @@ func runTables(w io.Writer, table string, workers int, seed uint64, bins int, cs
 		if workers > 0 {
 			s.Workers = workers
 		}
-		s.Config = core.Config{Bins: bins}
+		s.Config = core.Config{Bins: bins, Metrics: bt.registry()}
 		specs = append(specs, s)
 		return nil
 	}
@@ -226,7 +264,7 @@ func runTables(w io.Writer, table string, workers int, seed uint64, bins int, cs
 // samples of this curve; the sweep shows its full shape — highest at the
 // single-attribute extremes (α = 0 and 1), lowest for balanced mixes,
 // which is the paper's central Table-1/2 finding as a curve.
-func runSweep(w io.Writer, workers int, seed uint64, bins, points int) error {
+func runSweep(w io.Writer, workers int, seed uint64, bins, points int, bt *benchTelemetry) error {
 	if points < 2 {
 		return fmt.Errorf("sweep needs at least 2 points")
 	}
@@ -247,11 +285,11 @@ func runSweep(w io.Writer, workers int, seed uint64, bins, points int) error {
 		if err != nil {
 			return err
 		}
-		e, err := core.NewEvaluator(ds, f, core.Config{Bins: bins})
+		e, err := core.NewEvaluator(ds, f, core.Config{Bins: bins, Metrics: bt.registry()})
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(context.Background(), core.Spec{Evaluator: e})
+		res, err := core.Run(bt.context(), core.Spec{Evaluator: e})
 		if err != nil {
 			return err
 		}
@@ -268,18 +306,18 @@ func runSweep(w io.Writer, workers int, seed uint64, bins, points int) error {
 	return nil
 }
 
-func runFigure1(w io.Writer, bins int) error {
+func runFigure1(w io.Writer, bins int, bt *benchTelemetry) error {
 	ds, err := simulate.Figure1Workers()
 	if err != nil {
 		return err
 	}
-	e, err := core.NewEvaluator(ds, simulate.Figure1Func(), core.Config{Bins: bins})
+	e, err := core.NewEvaluator(ds, simulate.Figure1Func(), core.Config{Bins: bins, Metrics: bt.registry()})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Figure 1 toy example: 10 workers, attributes Gender and Language")
 	fmt.Fprintln(w)
-	res, err := core.Run(context.Background(), core.Spec{Algorithm: "unbalanced", Evaluator: e})
+	res, err := core.Run(bt.context(), core.Spec{Algorithm: "unbalanced", Evaluator: e})
 	if err != nil {
 		return err
 	}
@@ -290,7 +328,7 @@ func runFigure1(w io.Writer, bins int) error {
 	if err := report.Partitioning(w, e, res.Partitioning); err != nil {
 		return err
 	}
-	ex, err := core.Run(context.Background(), core.Spec{Algorithm: "exhaustive", Evaluator: e, Budget: 10000})
+	ex, err := core.Run(bt.context(), core.Spec{Algorithm: "exhaustive", Evaluator: e, Budget: 10000})
 	if err != nil {
 		return err
 	}
@@ -306,7 +344,7 @@ func verdict(heuristic, exact float64) string {
 	return "is below"
 }
 
-func runExhaustiveDemo(w io.Writer, seed uint64, bins int) error {
+func runExhaustiveDemo(w io.Writer, seed uint64, bins int, bt *benchTelemetry) error {
 	ds, err := simulate.PaperWorkers(100, seed)
 	if err != nil {
 		return err
@@ -321,11 +359,11 @@ func runExhaustiveDemo(w io.Writer, seed uint64, bins int) error {
 	if err != nil {
 		return err
 	}
-	e, err := core.NewEvaluator(ds, funcs[0], core.Config{Bins: bins})
+	e, err := core.NewEvaluator(ds, funcs[0], core.Config{Bins: bins, Metrics: bt.registry()})
 	if err != nil {
 		return err
 	}
-	if _, err := core.Run(context.Background(), core.Spec{
+	if _, err := core.Run(bt.context(), core.Spec{
 		Algorithm: "exhaustive", Evaluator: e, Budget: 1_000_000,
 	}); err != nil {
 		fmt.Fprintf(w, "exhaustive over all 6 attributes: %v (as in the paper, which\n"+
@@ -333,7 +371,7 @@ func runExhaustiveDemo(w io.Writer, seed uint64, bins int) error {
 	} else {
 		fmt.Fprintln(w, "exhaustive unexpectedly finished — budget too generous?")
 	}
-	res, err := core.Run(context.Background(), core.Spec{
+	res, err := core.Run(bt.context(), core.Spec{
 		Algorithm: "exhaustive", Evaluator: e, Attrs: []int{0, 1}, Budget: 1_000_000,
 	})
 	if err != nil {

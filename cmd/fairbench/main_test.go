@@ -1,17 +1,21 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fairrank/internal/core"
+	"fairrank/internal/telemetry"
 )
 
 func TestRunTablesReducedScale(t *testing.T) {
 	var b strings.Builder
-	if err := runTables(&b, "1", 100, 7, 10, "", "", "", 1, 1); err != nil {
+	if err := runTables(&b, "1", 100, 7, 10, "", "", "", 1, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -25,7 +29,7 @@ func TestRunTablesReducedScale(t *testing.T) {
 func TestRunTablesAllWithCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.csv")
 	var b strings.Builder
-	if err := runTables(&b, "all", 60, 7, 10, path, "", "", 2, 1); err != nil {
+	if err := runTables(&b, "all", 60, 7, 10, path, "", "", 2, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -55,7 +59,7 @@ func TestRunTablesMarkdownAndJSON(t *testing.T) {
 	md := filepath.Join(dir, "out.md")
 	js := filepath.Join(dir, "out.json")
 	var b strings.Builder
-	if err := runTables(&b, "1", 60, 7, 10, "", md, js, 1, 1); err != nil {
+	if err := runTables(&b, "1", 60, 7, 10, "", md, js, 1, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	mdData, err := os.ReadFile(md)
@@ -76,21 +80,21 @@ func TestRunTablesMarkdownAndJSON(t *testing.T) {
 
 func TestRunTablesUnknown(t *testing.T) {
 	var b strings.Builder
-	if err := runTables(&b, "9", 50, 1, 10, "", "", "", 1, 1); err == nil {
+	if err := runTables(&b, "9", 50, 1, 10, "", "", "", 1, 1, nil); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
 
 func TestRunTablesBadCSVPath(t *testing.T) {
 	var b strings.Builder
-	if err := runTables(&b, "1", 50, 1, 10, "/nonexistent/dir/out.csv", "", "", 1, 1); err == nil {
+	if err := runTables(&b, "1", 50, 1, 10, "/nonexistent/dir/out.csv", "", "", 1, 1, nil); err == nil {
 		t.Error("bad csv path accepted")
 	}
 }
 
 func TestRunFigure1(t *testing.T) {
 	var b strings.Builder
-	if err := runFigure1(&b, 10); err != nil {
+	if err := runFigure1(&b, 10, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -107,7 +111,7 @@ func TestRunFigure1(t *testing.T) {
 
 func TestRunExhaustiveDemo(t *testing.T) {
 	var b strings.Builder
-	if err := runExhaustiveDemo(&b, 7, 10); err != nil {
+	if err := runExhaustiveDemo(&b, 7, 10, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -130,7 +134,7 @@ func TestVerdict(t *testing.T) {
 
 func TestRunTablesMultiSeed(t *testing.T) {
 	var b strings.Builder
-	if err := runTables(&b, "1", 60, 7, 10, "", "", "", 2, 3); err != nil {
+	if err := runTables(&b, "1", 60, 7, 10, "", "", "", 2, 3, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -141,7 +145,7 @@ func TestRunTablesMultiSeed(t *testing.T) {
 
 func TestRunSweepUShape(t *testing.T) {
 	var b strings.Builder
-	if err := runSweep(&b, 300, 7, 10, 5); err != nil {
+	if err := runSweep(&b, 300, 7, 10, 5, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -171,7 +175,44 @@ func TestRunSweepUShape(t *testing.T) {
 
 func TestRunSweepValidation(t *testing.T) {
 	var b strings.Builder
-	if err := runSweep(&b, 50, 1, 10, 1); err == nil {
+	if err := runSweep(&b, 50, 1, 10, 1, nil); err == nil {
 		t.Error("points=1 accepted")
+	}
+}
+
+func TestBenchTelemetry(t *testing.T) {
+	ctx, tracer := telemetry.WithTracer(context.Background(), "fairbench")
+	bt := &benchTelemetry{ctx: ctx, reg: telemetry.NewRegistry()}
+	var b strings.Builder
+	if err := runSweep(&b, 60, 7, 10, 3, bt); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTables(&b, "1", 50, 7, 10, "", "", "", 1, 1, bt); err != nil {
+		t.Fatal(err)
+	}
+	snap := bt.reg.Snapshot()
+	if snap.Counters[core.MetricEMDEvaluations] <= 0 {
+		t.Errorf("registry missing %s after sweep+table", core.MetricEMDEvaluations)
+	}
+	tree := tracer.Finish()
+	if tree == nil || tree.Name != "fairbench" {
+		t.Fatalf("span tree root = %+v, want fairbench", tree)
+	}
+	phases := map[string]bool{}
+	tree.Walk(func(st *telemetry.SpanTree) { phases[st.Name] = true })
+	for _, want := range []string{"run", "scan", "emd"} {
+		if !phases[want] {
+			t.Errorf("span tree missing phase %q", want)
+		}
+	}
+}
+
+func TestBenchTelemetryNilSafe(t *testing.T) {
+	var b strings.Builder
+	if err := runFigure1(&b, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 1") {
+		t.Errorf("figure output:\n%s", b.String())
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fairrank/internal/server"
 	"fairrank/internal/simulate"
 	"fairrank/internal/store"
+	"fairrank/internal/telemetry"
 )
 
 // bootstrapDemo generates a synthetic population and stores it under the
@@ -50,10 +51,17 @@ func main() {
 		bootstrap  = flag.Int("bootstrap", 0, "preload a synthetic population of this size as dataset \"demo\"")
 		seed       = flag.Uint64("seed", 42, "bootstrap generation seed")
 		auditLimit = flag.Int("audit-limit", 4, "maximum concurrent audit requests (excess get 503)")
+		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	)
 	flag.Parse()
 
-	db, err := store.Open(*dbPath, store.Options{Sync: *sync})
+	// One registry aggregates the store's, the HTTP layer's and the audit
+	// engine's series into a single GET /metrics exposition; it is also
+	// published under expvar for plain-JSON debugging.
+	metrics := telemetry.NewRegistry()
+	metrics.PublishExpvar("fairrank")
+
+	db, err := store.Open(*dbPath, store.Options{Sync: *sync, Metrics: metrics})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,9 +74,15 @@ func main() {
 		log.Printf("bootstrapped dataset %q with %d workers", "demo", *bootstrap)
 	}
 
-	srv, err := server.New(db,
+	srvOpts := []server.ServerOption{
 		server.WithRequestLog(log.Printf),
-		server.WithAuditLimit(*auditLimit))
+		server.WithAuditLimit(*auditLimit),
+		server.WithMetrics(metrics),
+	}
+	if *pprofOn {
+		srvOpts = append(srvOpts, server.WithPprof())
+	}
+	srv, err := server.New(db, srvOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

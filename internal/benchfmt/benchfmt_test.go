@@ -1,0 +1,79 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			"BenchmarkTelemetryOverhead/telemetry=off-8 \t 12\t  95102458 ns/op\t 1024 B/op\t 17 allocs/op",
+			Result{Name: "BenchmarkTelemetryOverhead/telemetry=off", Procs: 8,
+				Iterations: 12, NsPerOp: 95102458, BytesPerOp: 1024, AllocsPerOp: 17},
+			true,
+		},
+		{
+			"BenchmarkEMDPair 100 250.5 ns/op",
+			Result{Name: "BenchmarkEMDPair", Procs: 1, Iterations: 100,
+				NsPerOp: 250.5, BytesPerOp: -1, AllocsPerOp: -1},
+			true,
+		},
+		{
+			"BenchmarkCodec-4 50 1000 ns/op 256.00 MB/s",
+			Result{Name: "BenchmarkCodec", Procs: 4, Iterations: 50,
+				NsPerOp: 1000, BytesPerOp: -1, AllocsPerOp: -1, MBPerSec: 256},
+			true,
+		},
+		{"goos: linux", Result{}, false},
+		{"PASS", Result{}, false},
+		{"ok  \tfairrank\t1.2s", Result{}, false},
+		{"BenchmarkBroken x ns/op", Result{}, false},
+		{"BenchmarkNoUnit 10 123", Result{}, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseLine(c.line)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ParseLine(%q) = %+v, %v; want %+v, %v", c.line, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseKeepsRepeats(t *testing.T) {
+	out := "goos: linux\n" +
+		"BenchmarkX-8 10 100 ns/op\n" +
+		"BenchmarkX-8 10 110 ns/op\n" +
+		"BenchmarkY-8 10 50 ns/op\n" +
+		"PASS\n"
+	res, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(res), res)
+	}
+	if res[0].Name != "BenchmarkX" || res[1].NsPerOp != 110 || res[2].Name != "BenchmarkY" {
+		t.Errorf("unexpected results: %+v", res)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

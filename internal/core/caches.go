@@ -124,6 +124,22 @@ func (c *repCache) internChild(key uint64, data []float64) *rep {
 // count reports how many distinct representations were materialized.
 func (c *repCache) count() int { return int(c.next.Load()) }
 
+// shardLens reports the per-shard occupancy of both keyed layers
+// combined: shardLens()[i] is how many interned reps shard i holds.
+func (c *repCache) shardLens() []int {
+	out := make([]int, cacheShards)
+	for i := range out {
+		c.byKey[i].mu.RLock()
+		n := len(c.byKey[i].m)
+		c.byKey[i].mu.RUnlock()
+		c.byChild[i].mu.RLock()
+		n += len(c.byChild[i].m)
+		c.byChild[i].mu.RUnlock()
+		out[i] = n
+	}
+	return out
+}
+
 // pairCache caches distances between interned representations, keyed by
 // the packed ordered handle pair, sharded like repCache. misses counts
 // every distance actually computed by the evaluator — including ones the
@@ -177,4 +193,18 @@ func (c *pairCache) len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// shardLens reports per-shard occupancy: shardLens()[i] is how many
+// cached distances shard i holds — the distribution (not just the
+// aggregate) is what reveals a bad hash or a hot shard.
+func (c *pairCache) shardLens() []int {
+	out := make([]int, cacheShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = len(s.m)
+		s.mu.Unlock()
+	}
+	return out
 }

@@ -8,6 +8,7 @@ import (
 
 	"fairrank/internal/histogram"
 	"fairrank/internal/partition"
+	"fairrank/internal/telemetry"
 )
 
 // This file implements the incremental pairwise-EMD engine. A matState is
@@ -176,11 +177,21 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 		return s
 	}
 	e := s.e
+	e.tel.probes.Inc()
+	// Span phases: split (scatter pass), emd (fresh distance fill),
+	// reduce (canonical-order average). Zero-cost when no tracer rides
+	// the context; derived states keep s.ctx so later probes never
+	// attach to this probe's ended span.
+	pctx, psp := telemetry.StartSpan(s.ctx, "probe")
+	psp.SetInt("attribute", int64(attr))
 	k := len(s.parts)
+	_, ssp := telemetry.StartSpan(pctx, "split")
 	splits := make([]splitPart, k)
 	for i := range s.parts {
 		splits[i] = e.scatterSplit(s.reps[i], s.parts[i], attr)
 	}
+	ssp.SetInt("parents", int64(k))
+	ssp.End()
 	nk := 0
 	for i := range splits {
 		nk += len(splits[i].children)
@@ -201,7 +212,9 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 			aliased = append(aliased, splits[i].aliased)
 		}
 	}
+	psp.SetInt("parts", int64(nk))
 	if !withDist {
+		psp.End()
 		return ns
 	}
 	nd := make([]float64, nk*(nk-1)/2)
@@ -218,6 +231,7 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 		}
 	}
 	if len(missing) > 0 {
+		_, esp := telemetry.StartSpan(pctx, "emd")
 		parfill(len(missing), workers, func(lo, hi int) {
 			for x, t := range missing[lo:hi] {
 				if x&(ctxCheckStride-1) == ctxCheckStride-1 && s.canceled() {
@@ -226,10 +240,20 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 				nd[t.slot] = e.distOf(ns.reps[t.i].data, ns.reps[t.j].data)
 			}
 		})
+		esp.SetInt("pairs", int64(len(missing)))
+		esp.End()
 		e.pairs.misses.Add(int64(len(missing)))
+		e.tel.computed(int64(len(missing)))
 	}
+	e.tel.pairsCopied.Add(int64(len(nd) - len(missing)))
 	ns.dist = nd
+	_, rsp := telemetry.StartSpan(pctx, "reduce")
 	ns.avg = avgOf(nd)
+	rsp.SetInt("pairs", int64(len(nd)))
+	rsp.End()
+	psp.SetInt("pairs_fresh", int64(len(missing)))
+	psp.SetInt("pairs_copied", int64(len(nd)-len(missing)))
+	psp.End()
 	return ns
 }
 
@@ -248,9 +272,32 @@ func (s *matState) probeAll(attrs []int) []*matState {
 	if outer >= 1 && p > outer {
 		inner = p / outer
 	}
+	// One "scan" span per round; the concurrent probes become its
+	// children. Probing through a shallow copy whose ctx carries the
+	// scan span keeps this state's ctx clean for subsequent rounds.
+	src := s
+	sctx, sp := telemetry.StartSpan(s.ctx, "scan")
+	if sp != nil {
+		sp.SetInt("attrs", int64(len(attrs)))
+		sp.SetInt("parts", int64(len(s.parts)))
+		cp := *s
+		cp.ctx = sctx
+		src = &cp
+	}
 	parforeach(len(attrs), outer, func(x int) {
-		out[x] = s.probe(attrs[x], inner, true)
+		out[x] = src.probe(attrs[x], inner, true)
 	})
+	sp.End()
+	if sp != nil {
+		// Result states must not parent future spans under the ended
+		// scan span (a cancelled probe returns src itself, hence the
+		// second check).
+		for _, st := range out {
+			if st != nil && st != s {
+				st.ctx = s.ctx
+			}
+		}
+	}
 	return out
 }
 
@@ -340,7 +387,9 @@ func (s *matState) replaceFirst(children *matState) *matState {
 	}
 	if fresh > 0 {
 		e.pairs.misses.Add(int64(fresh))
+		e.tel.computed(int64(fresh))
 	}
+	e.tel.pairsCopied.Add(int64(len(nd) - fresh))
 	ns.dist = nd
 	ns.avg = avgOf(nd)
 	return ns
@@ -363,6 +412,7 @@ func (s *matState) materialize(workers int) {
 			m++
 		}
 	}
+	_, esp := telemetry.StartSpan(s.ctx, "emd")
 	parfill(n, workers, func(lo, hi int) {
 		for x, t := range pairs[lo:hi] {
 			if x&(ctxCheckStride-1) == ctxCheckStride-1 && s.canceled() {
@@ -371,8 +421,14 @@ func (s *matState) materialize(workers int) {
 			s.dist[t.slot] = s.e.distOf(s.reps[t.i].data, s.reps[t.j].data)
 		}
 	})
+	esp.SetInt("pairs", int64(n))
+	esp.End()
 	s.e.pairs.misses.Add(int64(n))
+	s.e.tel.computed(int64(n))
+	_, rsp := telemetry.StartSpan(s.ctx, "reduce")
 	s.avg = avgOf(s.dist)
+	rsp.SetInt("pairs", int64(n))
+	rsp.End()
 }
 
 // parforeach runs fn(i) for every i in [0, n) across at most `workers`

@@ -22,6 +22,7 @@ import (
 	"fairrank/internal/histogram"
 	"fairrank/internal/partition"
 	"fairrank/internal/scoring"
+	"fairrank/internal/telemetry"
 )
 
 // Config tunes how unfairness is measured.
@@ -50,6 +51,13 @@ type Config struct {
 	// binned histogram EMD. More faithful, somewhat slower; ignores Bins,
 	// Ground and Metric.
 	Exact bool
+	// Metrics, when non-nil, receives engine telemetry: EMD-evaluation
+	// and cache hit/miss counters, probe counts, and cache-occupancy
+	// gauges (aggregate and per shard). Several evaluators may share one
+	// registry — counters accumulate across them, gauges reflect the
+	// most recently synced evaluator. Nil disables metrics at the cost
+	// of a predicted nil-check on the already-batched accounting sites.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +87,7 @@ type Evaluator struct {
 
 	reps  *repCache
 	pairs *pairCache
+	tel   engineMetrics
 }
 
 // NewEvaluator precomputes all worker scores for f and returns an
@@ -99,6 +108,7 @@ func NewEvaluator(ds *dataset.Dataset, f scoring.Func, cfg Config) (*Evaluator, 
 		scores: scoring.Scores(ds, f),
 		reps:   newRepCache(),
 		pairs:  newPairCache(),
+		tel:    engineMetricsFor(cfg.Metrics),
 	}
 	switch cfg.Ground {
 	case emd.GroundIndex:
@@ -212,11 +222,13 @@ func packPair(a, b uint32) uint64 {
 func (e *Evaluator) pairOf(ra, rb *rep) float64 {
 	key := packPair(ra.id, rb.id)
 	if d, ok := e.pairs.get(key); ok {
+		e.tel.cacheHits.Inc()
 		return d
 	}
 	d := e.distOf(ra.data, rb.data)
 	e.pairs.put(key, d)
 	e.pairs.misses.Add(1)
+	e.tel.computed(1)
 	return d
 }
 
@@ -284,6 +296,7 @@ func (e *Evaluator) avgRepsCtx(ctx context.Context, reps []*rep) float64 {
 			}
 		}
 	}
+	e.tel.cacheHits.Add(int64(n - len(missing)))
 	if len(missing) > 0 {
 		parfill(len(missing), e.cfg.Parallelism, func(lo, hi int) {
 			for x, t := range missing[lo:hi] {
@@ -297,6 +310,7 @@ func (e *Evaluator) avgRepsCtx(ctx context.Context, reps []*rep) float64 {
 			}
 		})
 		e.pairs.misses.Add(int64(len(missing)))
+		e.tel.computed(int64(len(missing)))
 	}
 	sum := 0.0
 	for _, v := range d {

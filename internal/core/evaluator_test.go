@@ -34,7 +34,7 @@ func addWorker(b *dataset.Builder, gender, lang string, score float64) {
 		map[string]any{"Score": score})
 }
 
-func randomDataset(t *testing.T, n int, seed uint64) *dataset.Dataset {
+func randomDataset(t testing.TB, n int, seed uint64) *dataset.Dataset {
 	t.Helper()
 	r := rng.New(seed)
 	b := dataset.NewBuilder(testSchema())

@@ -10,6 +10,7 @@ import (
 	"fairrank/internal/dataset"
 	"fairrank/internal/rng"
 	"fairrank/internal/scoring"
+	"fairrank/internal/telemetry"
 )
 
 // This file is the session layer: the single entry point every consumer of
@@ -159,7 +160,15 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	reps0, _, miss0 := e.CacheStats()
 	hits0 := int(e.pairs.hits.Load())
-	res, err := fn(ctx, e, spec)
+	// The root "run" span parents every scan/probe/split/emd/reduce span
+	// the engine opens below; gauges are synced once per run, off the hot
+	// path. Both no-op when no tracer/registry is attached.
+	rctx, rsp := telemetry.StartSpan(ctx, "run")
+	rsp.SetStr("algorithm", name)
+	res, err := fn(rctx, e, spec)
+	rsp.End()
+	e.tel.runs.Inc()
+	e.tel.syncGauges(e)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"fairrank/internal/telemetry"
+)
+
+// TestRunSpanTreeCoversPhases pins the tentpole tracing contract: a
+// core.Run under a tracer-enabled context yields a span tree whose root
+// is "run" and whose descendants cover every engine phase — attribute
+// scan, per-attribute probe, scatter split, EMD evaluation, and the
+// canonical-order reduce.
+func TestRunSpanTreeCoversPhases(t *testing.T) {
+	ds := randomDataset(t, 400, 11)
+	ctx, tr := telemetry.WithTracer(context.Background(), "audit")
+	res, err := Run(ctx, Spec{Algorithm: "balanced", Dataset: ds, Func: scoreFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Steps) == 0 {
+		t.Fatal("balanced run produced no steps")
+	}
+	tree := tr.Finish()
+	if tree == nil || tree.Name != "audit" {
+		t.Fatalf("root tree = %+v, want name audit", tree)
+	}
+	seen := map[string]int{}
+	tree.Walk(func(st *telemetry.SpanTree) { seen[st.Name]++ })
+	for _, phase := range []string{"run", "scan", "probe", "split", "emd", "reduce"} {
+		if seen[phase] == 0 {
+			t.Errorf("span tree missing phase %q (saw %v)", phase, seen)
+		}
+	}
+	if seen["probe"] < seen["scan"] {
+		t.Errorf("fewer probe spans (%d) than scan rounds (%d)", seen["probe"], seen["scan"])
+	}
+
+	// The run span must carry the algorithm attribute and nest under the
+	// caller's root.
+	if len(tree.Children) != 1 || tree.Children[0].Name != "run" {
+		t.Fatalf("root children = %+v, want single run span", tree.Children)
+	}
+	if got := tree.Children[0].Attrs["algorithm"]; got != "balanced" {
+		t.Errorf("run span algorithm attr = %v, want balanced", got)
+	}
+
+	// The tree must survive a JSON round-trip (the -telemetry-json path).
+	raw, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back telemetry.SpanTree
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("span JSON does not round-trip: %v", err)
+	}
+	if back.Name != "audit" {
+		t.Errorf("decoded root = %q, want audit", back.Name)
+	}
+}
+
+// TestRunSpanTreeWithoutTracer pins that tracing is strictly opt-in: a
+// plain context produces no spans and the run still succeeds.
+func TestRunSpanTreeWithoutTracer(t *testing.T) {
+	ds := randomDataset(t, 200, 12)
+	if _, err := Run(context.Background(), Spec{Dataset: ds, Func: scoreFunc}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTelemetryCounters pins the counter contract against RunStats:
+// on a fresh evaluator the EMD-evaluation counter equals the run's
+// PairsComputed (every pairCache.misses site mirrors into telemetry),
+// cache-miss and EMD counters agree, and probes/runs are recorded.
+func TestRunTelemetryCounters(t *testing.T) {
+	ds := randomDataset(t, 400, 13)
+	reg := telemetry.NewRegistry()
+	res, err := Run(context.Background(), Spec{
+		Dataset: ds, Func: scoreFunc, Config: Config{Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricEMDEvaluations]; got != int64(res.Stats.PairsComputed) {
+		t.Errorf("%s = %d, want PairsComputed = %d", MetricEMDEvaluations, got, res.Stats.PairsComputed)
+	}
+	if snap.Counters[MetricEMDEvaluations] != snap.Counters[MetricPairCacheMisses] {
+		t.Errorf("emd evals %d != cache misses %d",
+			snap.Counters[MetricEMDEvaluations], snap.Counters[MetricPairCacheMisses])
+	}
+	if got := snap.Counters[MetricPairCacheHits]; got != int64(res.Stats.CacheHits) {
+		t.Errorf("%s = %d, want CacheHits = %d", MetricPairCacheHits, got, res.Stats.CacheHits)
+	}
+	if snap.Counters[MetricProbes] == 0 {
+		t.Error("probe counter stayed zero across a balanced run")
+	}
+	if got := snap.Counters[MetricRuns]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricRuns, got)
+	}
+
+	// The unbalanced recursion replaces one part against its siblings and
+	// copies every untouched pair — the delta path the copied counter
+	// observes.
+	if _, err := Run(context.Background(), Spec{
+		Algorithm: "unbalanced", Dataset: ds, Func: scoreFunc, Config: Config{Metrics: reg},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Snapshot().Counters[MetricPairsCopied] == 0 {
+		t.Error("pairs-copied counter stayed zero: delta paths not instrumented")
+	}
+}
+
+// TestRunSharedRegistryAccumulates pins the shared-registry semantics the
+// server relies on: two evaluators configured with the same registry
+// accumulate into the same counters instead of clobbering each other.
+func TestRunSharedRegistryAccumulates(t *testing.T) {
+	ds := randomDataset(t, 300, 14)
+	reg := telemetry.NewRegistry()
+	spec := Spec{Dataset: ds, Func: scoreFunc, Config: Config{Metrics: reg}}
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	first := reg.Snapshot().Counters[MetricEMDEvaluations]
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricEMDEvaluations] <= first {
+		t.Errorf("second run did not accumulate: %d then %d",
+			first, snap.Counters[MetricEMDEvaluations])
+	}
+	if got := snap.Counters[MetricRuns]; got != 2 {
+		t.Errorf("%s = %d, want 2", MetricRuns, got)
+	}
+}
+
+// TestShardStats pins ShardStats against the aggregate CacheStats and the
+// shard count: distributions must sum to the totals.
+func TestShardStats(t *testing.T) {
+	ds := randomDataset(t, 400, 15)
+	e := mustEval(t, ds, Config{})
+	if _, err := Run(context.Background(), Spec{Evaluator: e}); err != nil {
+		t.Fatal(err)
+	}
+	repShards, pairShards := e.ShardStats()
+	if len(repShards) != cacheShards || len(pairShards) != cacheShards {
+		t.Fatalf("shard slice lengths = %d, %d, want %d", len(repShards), len(pairShards), cacheShards)
+	}
+	reps, pairs, _ := e.CacheStats()
+	sum := func(xs []int) (n int) {
+		for _, x := range xs {
+			n += x
+		}
+		return
+	}
+	if got := sum(repShards); got != reps {
+		t.Errorf("rep shard sum = %d, want CacheStats reps = %d", got, reps)
+	}
+	if got := sum(pairShards); got != pairs {
+		t.Errorf("pair shard sum = %d, want CacheStats pairs = %d", got, pairs)
+	}
+}
+
+// TestSyncGaugesPublishesOccupancy pins the gauge surface: after a run
+// with a registry attached, the aggregate gauges match CacheStats and the
+// per-shard gauge series sum to the aggregates.
+func TestSyncGaugesPublishesOccupancy(t *testing.T) {
+	ds := randomDataset(t, 400, 16)
+	reg := telemetry.NewRegistry()
+	e := mustEval(t, ds, Config{Metrics: reg})
+	if _, err := Run(context.Background(), Spec{Evaluator: e}); err != nil {
+		t.Fatal(err)
+	}
+	reps, pairs, _ := e.CacheStats()
+	snap := reg.Snapshot()
+	if got := snap.Gauges[MetricReps]; got != float64(reps) {
+		t.Errorf("%s = %v, want %d", MetricReps, got, reps)
+	}
+	if got := snap.Gauges[MetricPairEntries]; got != float64(pairs) {
+		t.Errorf("%s = %v, want %d", MetricPairEntries, got, pairs)
+	}
+	pairSum, repSum, pairSeries, repSeries := 0.0, 0.0, 0, 0
+	for id, v := range snap.Gauges {
+		switch {
+		case len(id) > len(MetricPairShard) && id[:len(MetricPairShard)] == MetricPairShard:
+			pairSum += v
+			pairSeries++
+		case len(id) > len(MetricRepShard) && id[:len(MetricRepShard)] == MetricRepShard:
+			repSum += v
+			repSeries++
+		}
+	}
+	if pairSeries != cacheShards || repSeries != cacheShards {
+		t.Fatalf("per-shard series = %d, %d, want %d each", pairSeries, repSeries, cacheShards)
+	}
+	if pairSum != float64(pairs) {
+		t.Errorf("pair shard gauges sum to %v, want %d", pairSum, pairs)
+	}
+	if repSum != float64(reps) {
+		t.Errorf("rep shard gauges sum to %v, want %d", repSum, reps)
+	}
+}
+
+// TestPreregisterMetrics pins that a scrape endpoint exposes every engine
+// series (zero-valued) before the first audit runs.
+func TestPreregisterMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	PreregisterMetrics(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		MetricEMDEvaluations, MetricPairCacheHits, MetricPairCacheMisses,
+		MetricPairsCopied, MetricProbes, MetricRuns,
+	} {
+		if v, ok := snap.Counters[name]; !ok || v != 0 {
+			t.Errorf("preregistered counter %s = %d, %v; want 0, true", name, v, ok)
+		}
+	}
+	if _, ok := snap.Gauges[MetricReps]; !ok {
+		t.Errorf("preregistered gauge %s missing", MetricReps)
+	}
+}
+
+// TestTelemetryIdenticalResults pins that attaching telemetry never
+// changes the audit outcome: same unfairness trajectory, traced or not.
+func TestTelemetryIdenticalResults(t *testing.T) {
+	ds := randomDataset(t, 400, 17)
+	plain, err := Run(context.Background(), Spec{Dataset: ds, Func: scoreFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ctx, tr := telemetry.WithTracer(context.Background(), "audit")
+	traced, err := Run(ctx, Spec{Dataset: ds, Func: scoreFunc, Config: Config{Metrics: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if len(plain.Steps) != len(traced.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(plain.Steps), len(traced.Steps))
+	}
+	for i := range plain.Steps {
+		if plain.Steps[i].AvgDistance != traced.Steps[i].AvgDistance {
+			t.Fatalf("step %d avg distance differs: %v vs %v",
+				i, plain.Steps[i].AvgDistance, traced.Steps[i].AvgDistance)
+		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the full audit path under the
+// three telemetry configurations; cmd/benchdiff compares them in CI and
+// fails the build when an enabled path exceeds its overhead budget. A
+// fresh evaluator per iteration keeps cache state identical across
+// variants.
+//
+//   - telemetry=off      — no registry, no tracer: the baseline.
+//   - telemetry=metrics  — counters + gauges, the always-on production
+//     configuration (what fairserve enables for every audit request);
+//     gated at 5%.
+//   - telemetry=trace    — metrics plus span tracing, the opt-in
+//     -telemetry-json diagnostic path. Spans cost two clock reads and a
+//     few allocations each, which a deliberately tiny benchmark audit
+//     makes visible; gated loosely to catch regressions only.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	ds := randomDataset(b, 4000, 21)
+	audit := func(b *testing.B, reg *telemetry.Registry, trace bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := NewEvaluator(ds, scoreFunc, Config{Metrics: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var tr *telemetry.Tracer
+			if trace {
+				ctx, tr = telemetry.WithTracer(ctx, "bench")
+			}
+			if _, err := Run(ctx, Spec{Evaluator: e}); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+		}
+	}
+	b.Run("telemetry=off", func(b *testing.B) { audit(b, nil, false) })
+	b.Run("telemetry=metrics", func(b *testing.B) { audit(b, telemetry.NewRegistry(), false) })
+	b.Run("telemetry=trace", func(b *testing.B) { audit(b, telemetry.NewRegistry(), true) })
+}

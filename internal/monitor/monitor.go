@@ -55,6 +55,9 @@ type Monitor struct {
 	// lastErr records the first event-processing failure that may have
 	// left the triangle inconsistent; UnfairnessErr surfaces it.
 	lastErr error
+	// met holds telemetry handles (see SetMetrics); its zero value is the
+	// disabled state and costs a few predicted branches per event.
+	met monitorMetrics
 }
 
 // group is one non-empty partition cell: its histogram plus the cached
@@ -193,6 +196,10 @@ func (m *Monitor) touch(g *group) {
 		m.tri[slot] = d
 		m.sum.set(slot, d)
 	}
+	if k > 1 {
+		m.met.distUpdates.Add(int64(k - 1))
+		m.met.treeUpdates.Add(int64(k - 1))
+	}
 }
 
 // rebuild re-derives order indices, the triangle and the sum tree after a
@@ -219,6 +226,7 @@ func (m *Monitor) rebuild(oldK int, oldTri []float64, oldIdx []int) {
 		}
 	}
 	m.sum = newSumTree(m.tri)
+	m.met.rebuilds.Inc()
 }
 
 // insertGroup adds a new empty group at its sorted position. Its triangle
@@ -283,6 +291,8 @@ func (m *Monitor) Join(id string, protected map[string]any, score float64) error
 	g.hist.Add(score)
 	m.touch(g)
 	m.workers[id] = workerState{key: key, score: score}
+	m.met.joins.Inc()
+	m.met.sync(m)
 	return nil
 }
 
@@ -303,6 +313,8 @@ func (m *Monitor) Leave(id string) error {
 		m.touch(g)
 	}
 	delete(m.workers, id)
+	m.met.leaves.Inc()
+	m.met.sync(m)
 	return nil
 }
 
@@ -321,6 +333,8 @@ func (m *Monitor) Rescore(id string, score float64) error {
 	m.touch(g)
 	st.score = score
 	m.workers[id] = st
+	m.met.rescores.Inc()
+	m.met.sync(m)
 	return nil
 }
 

@@ -1,0 +1,76 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"fairrank/internal/telemetry"
+)
+
+// TestSetMetrics pins the monitor's telemetry surface: event counters by
+// type, delta-path work counters, structural rebuild counts, and
+// population gauges tracking the live state.
+func TestSetMetrics(t *testing.T) {
+	m := newMonitor(t, []string{"Gender"}, 0.5)
+	reg := telemetry.NewRegistry()
+	m.SetMetrics(reg)
+
+	for i := 0; i < 6; i++ {
+		g := "Male"
+		if i%2 == 1 {
+			g = "Female"
+		}
+		if err := m.Join(fmt.Sprintf("w%d", i), map[string]any{"Gender": g}, float64(i)/6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Rescore("w0", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Leave("w5"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		MetricEvents + `{type="join"}`:    6,
+		MetricEvents + `{type="leave"}`:   1,
+		MetricEvents + `{type="rescore"}`: 1,
+		// Two structural rebuilds: one per group born.
+		MetricRebuilds: 2,
+	}
+	for id, n := range want {
+		if got := snap.Counters[id]; got != n {
+			t.Errorf("%s = %d, want %d", id, got, n)
+		}
+	}
+	// Each event once both groups exist touches one group: 1 distance and
+	// 1 sum-tree update. The exact count depends on when the second group
+	// was born; just pin that the delta counters moved in lockstep.
+	if snap.Counters[MetricDistanceUpdates] == 0 {
+		t.Error("distance-update counter stayed zero")
+	}
+	if snap.Counters[MetricDistanceUpdates] != snap.Counters[MetricSumTreeUpdates] {
+		t.Errorf("distance updates %d != sumtree updates %d",
+			snap.Counters[MetricDistanceUpdates], snap.Counters[MetricSumTreeUpdates])
+	}
+	if got := snap.Gauges[MetricWorkers]; got != float64(m.Workers()) {
+		t.Errorf("workers gauge = %v, want %d", got, m.Workers())
+	}
+	if got := snap.Gauges[MetricGroups]; got != float64(m.Groups()) {
+		t.Errorf("groups gauge = %v, want %d", got, m.Groups())
+	}
+}
+
+// TestMetricsDisabled pins that an unattached monitor processes events
+// normally — the zero monitorMetrics must be inert.
+func TestMetricsDisabled(t *testing.T) {
+	m := newMonitor(t, []string{"Gender"}, 0.5)
+	m.SetMetrics(nil)
+	if err := m.Join("w0", map[string]any{"Gender": "Male"}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Leave("w0"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -45,6 +46,7 @@ import (
 	"fairrank/internal/scoring"
 	"fairrank/internal/simulate"
 	"fairrank/internal/store"
+	"fairrank/internal/telemetry"
 )
 
 const (
@@ -61,6 +63,11 @@ type Server struct {
 	logf func(format string, args ...any)
 	// auditLimit bounds concurrent audit computations (default 4).
 	auditLimit int
+	// metrics receives per-route HTTP series and the engine series of
+	// every audit evaluator; served at GET /metrics.
+	metrics *telemetry.Registry
+	// pprof mounts /debug/pprof/ when set (see WithPprof).
+	pprof bool
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset.Dataset
@@ -83,10 +90,18 @@ func WithAuditLimit(n int) ServerOption {
 // New builds a Server over an open store, reloading any persisted dataset
 // snapshots into memory.
 func New(db *store.DB, opts ...ServerOption) (*Server, error) {
-	s := &Server{db: db, datasets: map[string]*dataset.Dataset{}, auditLimit: 4}
+	s := &Server{
+		db:         db,
+		datasets:   map[string]*dataset.Dataset{},
+		auditLimit: 4,
+		metrics:    telemetry.NewRegistry(),
+	}
 	for _, o := range opts {
 		o(s)
 	}
+	// Engine series appear on /metrics from boot, not after the first
+	// audit request creates an evaluator.
+	core.PreregisterMetrics(s.metrics)
 	for _, name := range db.Keys(bucketDatasets) {
 		raw, ok := db.Get(bucketDatasets, name)
 		if !ok {
@@ -102,28 +117,40 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted. Every route
+// is wrapped with per-route request/latency metrics at mount time (see
+// instrument); /metrics itself, /debug/vars and the pprof endpoints are
+// left bare so scraping does not observe itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleDashboard)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handleFunc := func(pattern string, h http.HandlerFunc) { handle(pattern, h) }
+	handleFunc("GET /{$}", s.handleDashboard)
+	handleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	mux.HandleFunc("POST /v1/datasets/{name}", s.handleUploadDataset)
-	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
-	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
-	mux.HandleFunc("POST /v1/tasks", s.handlePostTask)
-	mux.HandleFunc("GET /v1/tasks", s.handleListTasks)
-	mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleDeleteTask)
-	mux.HandleFunc("GET /v1/rank", s.handleRank)
-	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
-	mux.Handle("POST /v1/audits", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleRunAudit)))
-	mux.HandleFunc("GET /v1/audits", s.handleListAudits)
-	mux.HandleFunc("GET /v1/audits/{id}", s.handleGetAudit)
-	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
-	mux.HandleFunc("POST /v1/repair", s.handleRepair)
-	mux.Handle("POST /v1/explain", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleExplain)))
+	handleFunc("GET /v1/datasets", s.handleListDatasets)
+	handleFunc("POST /v1/datasets/{name}", s.handleUploadDataset)
+	handleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	handleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	handleFunc("POST /v1/tasks", s.handlePostTask)
+	handleFunc("GET /v1/tasks", s.handleListTasks)
+	handleFunc("DELETE /v1/tasks/{id}", s.handleDeleteTask)
+	handleFunc("GET /v1/rank", s.handleRank)
+	handleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	handle("POST /v1/audits", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleRunAudit)))
+	handleFunc("GET /v1/audits", s.handleListAudits)
+	handleFunc("GET /v1/audits/{id}", s.handleGetAudit)
+	handleFunc("POST /v1/rerank", s.handleRerank)
+	handleFunc("POST /v1/repair", s.handleRepair)
+	handle("POST /v1/explain", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleExplain)))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.pprof {
+		mountPprof(mux)
+	}
 	return withLogging(s.logf, withRecovery(mux))
 }
 
@@ -456,7 +483,7 @@ func (s *Server) handleRunAudit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg := core.Config{Bins: req.Bins}
+	cfg := core.Config{Bins: req.Bins, Metrics: s.metrics}
 	if req.Metric != "" {
 		m, err := emd.ParseMetric(req.Metric)
 		if err != nil {
@@ -662,7 +689,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	e, err := core.NewEvaluator(ds, f, core.Config{Bins: req.Bins})
+	e, err := core.NewEvaluator(ds, f, core.Config{Bins: req.Bins, Metrics: s.metrics})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -740,7 +767,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	e, err := core.NewEvaluator(ds, f, core.Config{Bins: req.Bins})
+	e, err := core.NewEvaluator(ds, f, core.Config{Bins: req.Bins, Metrics: s.metrics})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

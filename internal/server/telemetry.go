@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"fairrank/internal/telemetry"
+)
+
+// HTTP metric names, exported on the server's registry.
+const (
+	MetricHTTPRequests       = "fairrank_http_requests_total"
+	MetricHTTPRequestSeconds = "fairrank_http_request_seconds"
+)
+
+// WithMetrics attaches an externally owned telemetry registry, so the
+// process can aggregate server, store and engine series in one /metrics
+// exposition. Without this option the server creates a private registry;
+// either way Metrics() returns the one in use.
+func WithMetrics(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) {
+		if reg != nil {
+			s.metrics = reg
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the server's
+// handler. Off by default: profiling endpoints expose goroutine stacks
+// and heap contents, so operators opt in explicitly (fairserve -pprof).
+func WithPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
+}
+
+// Metrics returns the registry the server records into — the one passed
+// via WithMetrics, or the server's own.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// instrument wraps one route's handler with a per-route request counter
+// (labeled by status code) and latency histogram. Wrapping happens at
+// mount time because an outer middleware cannot see which pattern the mux
+// matched; the route label is the pattern itself, so path parameters
+// ({name}, {id}) never explode the series cardinality.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	hist := s.metrics.Histogram(MetricHTTPRequestSeconds, telemetry.DefBuckets(),
+		telemetry.Label{Key: "route", Value: route})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.Counter(MetricHTTPRequests,
+			telemetry.Label{Key: "route", Value: route},
+			telemetry.Label{Key: "code", Value: strconv.Itoa(rec.status)},
+		).Inc()
+		hist.ObserveSince(start)
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// mountPprof exposes the standard pprof handlers on mux. DefaultServeMux
+// registration (the pprof package's init) is deliberately not relied on —
+// the platform never serves DefaultServeMux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"fairrank/internal/telemetry"
 )
 
 const (
@@ -33,6 +35,10 @@ type Options struct {
 	// Sync forces an fsync after every write. Slower, but a crash loses
 	// at most the in-flight record rather than the OS write-back window.
 	Sync bool
+	// Metrics, when non-nil, receives the store's telemetry: put/delete
+	// and byte counters, compaction and torn-tail truncation totals, and
+	// live/dead record gauges. See the Metric* names in this package.
+	Metrics *telemetry.Registry
 }
 
 // DB is a bucketed key-value store backed by an append-only log.
@@ -47,6 +53,7 @@ type DB struct {
 	live    int
 	closed  bool
 	replayN int
+	met     storeMetrics
 }
 
 // Open opens (or creates) the log at path and replays it. A corrupt tail
@@ -56,14 +63,20 @@ func Open(path string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	db := &DB{f: f, path: path, opts: opts, data: map[string]map[string][]byte{}}
+	db := &DB{
+		f: f, path: path, opts: opts,
+		data: map[string]map[string][]byte{},
+		met:  newStoreMetrics(opts.Metrics),
+	}
 	validEnd, err := db.replay()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	db.met.replayRecords.Add(int64(db.replayN))
 	// Truncate a torn tail so future appends start on a record boundary.
 	if fi, err := f.Stat(); err == nil && fi.Size() > validEnd {
+		db.met.truncatedBytes.Add(fi.Size() - validEnd)
 		if err := f.Truncate(validEnd); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
@@ -73,6 +86,7 @@ func Open(path string, opts Options) (*DB, error) {
 		f.Close()
 		return nil, err
 	}
+	db.met.sync(db)
 	return db, nil
 }
 
@@ -171,9 +185,11 @@ func appendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
-func (db *DB) writeRecord(op byte, bucket, key string, value []byte) error {
+// writeRecord appends one framed record, reporting how many log bytes it
+// wrote so callers can attribute them (appends vs. compaction rewrites).
+func (db *DB) writeRecord(op byte, bucket, key string, value []byte) (int, error) {
 	if len(bucket) > math.MaxUint16 || len(key) > math.MaxUint16 {
-		return errors.New("store: bucket or key too long")
+		return 0, errors.New("store: bucket or key too long")
 	}
 	body := make([]byte, 0, 1+4+len(bucket)+len(key)+len(value))
 	body = append(body, op)
@@ -181,23 +197,23 @@ func (db *DB) writeRecord(op byte, bucket, key string, value []byte) error {
 	body = appendString(body, key)
 	body = append(body, value...)
 	if len(body) > maxRecordSize {
-		return fmt.Errorf("store: record of %d bytes exceeds limit", len(body))
+		return 0, fmt.Errorf("store: record of %d bytes exceeds limit", len(body))
 	}
 	var header [8]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(body))
 	if _, err := db.f.Write(header[:]); err != nil {
-		return fmt.Errorf("store: append: %w", err)
+		return 0, fmt.Errorf("store: append: %w", err)
 	}
 	if _, err := db.f.Write(body); err != nil {
-		return fmt.Errorf("store: append: %w", err)
+		return 0, fmt.Errorf("store: append: %w", err)
 	}
 	if db.opts.Sync {
 		if err := db.f.Sync(); err != nil {
-			return fmt.Errorf("store: sync: %w", err)
+			return 0, fmt.Errorf("store: sync: %w", err)
 		}
 	}
-	return nil
+	return 8 + len(body), nil
 }
 
 // ErrClosed is returned by operations on a closed DB.
@@ -213,7 +229,8 @@ func (db *DB) Put(bucket, key string, value []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	if err := db.writeRecord(opPut, bucket, key, value); err != nil {
+	n, err := db.writeRecord(opPut, bucket, key, value)
+	if err != nil {
 		return err
 	}
 	b := db.data[bucket]
@@ -229,6 +246,9 @@ func (db *DB) Put(bucket, key string, value []byte) error {
 	val := make([]byte, len(value))
 	copy(val, value)
 	b[key] = val
+	db.met.puts.Inc()
+	db.met.bytesWritten.Add(int64(n))
+	db.met.sync(db)
 	return nil
 }
 
@@ -263,12 +283,16 @@ func (db *DB) Delete(bucket, key string) error {
 	if _, ok := b[key]; !ok {
 		return nil
 	}
-	if err := db.writeRecord(opDelete, bucket, key, nil); err != nil {
+	n, err := db.writeRecord(opDelete, bucket, key, nil)
+	if err != nil {
 		return err
 	}
 	delete(b, key)
 	db.dead += 2
 	db.live--
+	db.met.deletes.Inc()
+	db.met.bytesWritten.Add(int64(n))
+	db.met.sync(db)
 	return nil
 }
 
@@ -329,6 +353,7 @@ func (db *DB) Compact() error {
 		buckets = append(buckets, b)
 	}
 	sort.Strings(buckets)
+	var rewritten int64
 	for _, bucket := range buckets {
 		keys := make([]string, 0, len(db.data[bucket]))
 		for k := range db.data[bucket] {
@@ -336,9 +361,11 @@ func (db *DB) Compact() error {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			if err := db.writeRecord(opPut, bucket, k, db.data[bucket][k]); err != nil {
+			n, err := db.writeRecord(opPut, bucket, k, db.data[bucket][k])
+			if err != nil {
 				return err
 			}
+			rewritten += int64(n)
 		}
 	}
 	if err := tmp.Sync(); err != nil {
@@ -350,6 +377,9 @@ func (db *DB) Compact() error {
 	old.Close()
 	ok = true
 	db.dead = 0
+	db.met.compactions.Inc()
+	db.met.compactionBytes.Add(rewritten)
+	db.met.sync(db)
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package store
+
+import "fairrank/internal/telemetry"
+
+// Store metric names, exported on the registry passed via Options.Metrics.
+const (
+	MetricPuts            = "fairrank_store_puts_total"
+	MetricDeletes         = "fairrank_store_deletes_total"
+	MetricBytesWritten    = "fairrank_store_bytes_written_total"
+	MetricCompactions     = "fairrank_store_compactions_total"
+	MetricCompactionBytes = "fairrank_store_compaction_bytes_total"
+	MetricTruncatedBytes  = "fairrank_store_truncated_bytes_total"
+	MetricReplayRecords   = "fairrank_store_replay_records_total"
+	MetricLiveRecords     = "fairrank_store_live_records"
+	MetricDeadRecords     = "fairrank_store_dead_records"
+)
+
+// storeMetrics holds the DB's telemetry handles; the zero value (all nil)
+// is the disabled state and every operation no-ops.
+type storeMetrics struct {
+	puts            *telemetry.Counter // successful Put records appended
+	deletes         *telemetry.Counter // successful Delete records appended
+	bytesWritten    *telemetry.Counter // log bytes appended (headers + bodies)
+	compactions     *telemetry.Counter // completed Compact calls
+	compactionBytes *telemetry.Counter // log bytes written by compaction rewrites
+	truncatedBytes  *telemetry.Counter // torn-tail bytes dropped at Open
+	replayRecords   *telemetry.Counter // records replayed at Open
+
+	live *telemetry.Gauge // current live record count
+	dead *telemetry.Gauge // current dead (overwritten/deleted) record count
+}
+
+// newStoreMetrics get-or-creates the store's series on reg; a nil registry
+// yields the zero (disabled) storeMetrics.
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	return storeMetrics{
+		puts:            reg.Counter(MetricPuts),
+		deletes:         reg.Counter(MetricDeletes),
+		bytesWritten:    reg.Counter(MetricBytesWritten),
+		compactions:     reg.Counter(MetricCompactions),
+		compactionBytes: reg.Counter(MetricCompactionBytes),
+		truncatedBytes:  reg.Counter(MetricTruncatedBytes),
+		replayRecords:   reg.Counter(MetricReplayRecords),
+		live:            reg.Gauge(MetricLiveRecords),
+		dead:            reg.Gauge(MetricDeadRecords),
+	}
+}
+
+// sync publishes the live/dead gauges; called with db.mu held.
+func (sm *storeMetrics) sync(db *DB) {
+	sm.live.Set(float64(db.live))
+	sm.dead.Set(float64(db.dead))
+}

@@ -1,0 +1,16 @@
+package telemetry
+
+import "expvar"
+
+// PublishExpvar publishes the registry under the given name in the
+// process's expvar namespace, rendering a full Snapshot on every read —
+// so `GET /debug/vars` (or any expvar consumer) sees live values
+// without a scrape loop. Publishing the same name twice, or publishing
+// from a nil Registry, is a no-op: expvar.Publish panics on duplicates,
+// and an observability layer must never take the process down.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || name == "" || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzPrometheus drives arbitrary metric names, label names, label
+// values and sample values through every metric kind and asserts the
+// exposition encoder (a) never panics and (b) always emits lexically
+// valid Prometheus text format — the two properties a scrape endpoint
+// must hold no matter what strings instrumentation code registers.
+func FuzzPrometheus(f *testing.F) {
+	f.Add("requests_total", "route", "/v1/rank", 1.5)
+	f.Add("", "", "", 0.0)
+	f.Add("9starts-with digit", "bad key", "va\"l\\ue\nnewline", -3.25)
+	f.Add("utf8_ünïcode_名前", "läbel", "значение", math.MaxFloat64)
+	f.Add("a:b:c", "le", "+Inf", math.SmallestNonzeroFloat64)
+	f.Add("x_bucket", "quantile", "0.99", 1e-308)
+	f.Add(strings.Repeat("n", 300), strings.Repeat("k", 300), strings.Repeat("v", 300), 42.0)
+	f.Fuzz(func(t *testing.T, name, labelKey, labelVal string, value float64) {
+		r := NewRegistry()
+		lbl := Label{Key: labelKey, Value: labelVal}
+		r.Counter(name, lbl).Add(int64(math.Abs(math.Mod(value, 1024))) + 1)
+		r.Gauge(name+"_g", lbl).Set(value)
+		r.GaugeFunc(name+"_gf", func() float64 { return value }, lbl)
+		h := r.Histogram(name+"_h", []float64{value, value * 2, 1}, lbl)
+		h.Observe(value)
+		h.Observe(0.5)
+
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if err := CheckExposition(b.String()); err != nil {
+			t.Fatalf("invalid exposition: %v\ninputs: name=%q key=%q val=%q value=%v\noutput:\n%s",
+				err, name, labelKey, labelVal, value, b.String())
+		}
+	})
+}

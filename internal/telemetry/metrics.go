@@ -1,0 +1,455 @@
+// Package telemetry is the platform's zero-dependency observability
+// layer: a metrics registry (atomic counters, gauges and exponential-
+// bucket histograms with Prometheus text exposition and expvar
+// publication) plus lightweight span tracing propagated through
+// context.Context.
+//
+// Everything is nil-safe by design: methods on a nil *Registry return
+// nil metrics, and methods on nil *Counter, *Gauge, *Histogram and
+// *Span are no-ops. Instrumented hot paths therefore cost a single
+// predictable nil-check when telemetry is disabled, so the engine can
+// be instrumented unconditionally.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, e.g. {Key: "route", Value: "/v1/rank"}.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil Counter ignores all operations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n; negative deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is usable;
+// a nil Gauge ignores all operations.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution with cumulative exposition.
+// Buckets hold observations <= their upper bound; an implicit +Inf
+// bucket catches the rest. The zero value is not usable — histograms
+// come from Registry.Histogram. A nil Histogram ignores observations.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds (exclusive of +Inf)
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sum    Gauge // reuses the CAS float accumulator
+}
+
+// Observe records one sample. NaN observations are dropped (they would
+// poison the sum and match no bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since start, in seconds — the
+// conventional unit for latency histograms.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start (start, start·factor, start·factor², …): the standard layout
+// for latency histograms spanning several orders of magnitude.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefBuckets are the default latency buckets: 100µs to ~52s in
+// doublings, in seconds.
+func DefBuckets() []float64 { return ExpBuckets(1e-4, 2, 20) }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one registered (name, labels) time series.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds the process's metrics. The zero value is not usable —
+// use NewRegistry — but a nil *Registry is: every method returns a nil
+// metric whose operations no-op, which is how instrumented code runs
+// with telemetry disabled.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[string]*series{}}
+}
+
+// seriesKey fingerprints (name, sorted labels) for get-or-create
+// lookup. The \x00 separators cannot occur in a way that confuses two
+// distinct label sets sharing a rendering.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// sortLabels returns a sorted copy so callers' argument order never
+// creates duplicate series.
+func sortLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns the series under (name, labels) if present.
+func (r *Registry) lookup(key string) (*series, bool) {
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	return s, ok
+}
+
+// register inserts a series, keeping the first registration on a race.
+func (r *Registry) register(key string, s *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.series[key]; ok {
+		return prev
+	}
+	r.series[key] = s
+	return s
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use. A nil Registry returns a nil (no-op)
+// Counter. If the series exists with a different kind, a detached
+// counter is returned rather than corrupting the registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	if s, ok := r.lookup(key); ok {
+		if s.kind == kindCounter {
+			return s.counter
+		}
+		return &Counter{}
+	}
+	s := r.register(key, &series{name: name, labels: labels, kind: kindCounter, counter: &Counter{}})
+	if s.kind != kindCounter {
+		return &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use. A nil Registry returns a nil (no-op) Gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	if s, ok := r.lookup(key); ok {
+		if s.kind == kindGauge {
+			return s.gauge
+		}
+		return &Gauge{}
+	}
+	s := r.register(key, &series{name: name, labels: labels, kind: kindGauge, gauge: &Gauge{}})
+	if s.kind != kindGauge {
+		return &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — for values that already live elsewhere (cache sizes, queue
+// depths) and should not be mirrored on the hot path. Re-registering
+// the same series keeps the first function. No-op on a nil Registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	if _, ok := r.lookup(key); ok {
+		return
+	}
+	r.register(key, &series{name: name, labels: labels, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it with the given bucket upper bounds on first use (nil
+// bounds select DefBuckets). Bounds are sorted and deduplicated; later
+// calls reuse the first registration's buckets. A nil Registry returns
+// a nil (no-op) Histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	if s, ok := r.lookup(key); ok {
+		if s.kind == kindHistogram {
+			return s.hist
+		}
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		// NaN bounds are meaningless and +Inf is the implicit final
+		// bucket; both are dropped rather than exposed twice.
+		if !math.IsNaN(b) && !math.IsInf(b, 1) {
+			bs = append(bs, b)
+		}
+	}
+	sort.Float64s(bs)
+	bs = dedupFloats(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+	s := r.register(key, &series{name: name, labels: labels, kind: kindHistogram, hist: h})
+	if s.kind != kindHistogram {
+		return nil
+	}
+	return s.hist
+}
+
+func dedupFloats(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// snapshotSeries copies the series list under the read lock, sorted by
+// (name, labels) for deterministic exposition.
+func (r *Registry) snapshotSeries() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelsID(out[i].labels) < labelsID(out[j].labels)
+	})
+	return out
+}
+
+func labelsID(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(1)
+	}
+	return b.String()
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per-bucket (non-cumulative); Counts[len(Bounds)] is +Inf
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every metric, keyed by the
+// rendered series identity (name{k="v",…}). It is what tests assert
+// against and what expvar publishes.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. A nil Registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	for _, s := range r.snapshotSeries() {
+		id := renderID(s.name, s.labels)
+		switch s.kind {
+		case kindCounter:
+			snap.Counters[id] = s.counter.Value()
+		case kindGauge:
+			snap.Gauges[id] = s.gauge.Value()
+		case kindGaugeFunc:
+			snap.Gauges[id] = s.gaugeFn()
+		case kindHistogram:
+			h := s.hist
+			hs := HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.bounds)+1),
+				Count:  h.count.Load(),
+				Sum:    h.sum.Value(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			hs.Counts[len(h.bounds)] = h.inf.Load()
+			snap.Histograms[id] = hs
+		}
+	}
+	return snap
+}
+
+// renderID renders the human-readable series identity used as snapshot
+// keys: name, plus {k="v",…} when labelled.
+func renderID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // negative deltas ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total"); again != c {
+		t.Fatal("re-registering the same series must return the same counter")
+	}
+}
+
+func TestLabelsDistinguishSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", Label{"route", "/a"})
+	b := r.Counter("hits", Label{"route", "/b"})
+	if a == b {
+		t.Fatal("different label values must be different series")
+	}
+	// Argument order must not matter.
+	x := r.Counter("multi", Label{"k1", "v1"}, Label{"k2", "v2"})
+	y := r.Counter("multi", Label{"k2", "v2"}, Label{"k1", "v1"})
+	if x != y {
+		t.Fatal("label order created duplicate series")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(1.5)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	g.Add(-5)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("cache_entries", func() float64 { return v })
+	snap := r.Snapshot()
+	if got := snap.Gauges["cache_entries"]; got != 7 {
+		t.Fatalf("gauge func = %v, want 7", got)
+	}
+	v = 9
+	if got := r.Snapshot().Gauges["cache_entries"]; got != 9 {
+		t.Fatalf("gauge func = %v, want live 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := r.Snapshot().Histograms["lat"]
+	// Buckets are <= bound, non-cumulative in the snapshot:
+	// 0.05 and 0.1 -> le=0.1; 0.5 -> le=1; 5 -> le=10; 100 -> +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if got, want := snap.Sum, 0.05+0.1+0.5+5+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if ExpBuckets(0, 2, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Fatal("degenerate ExpBuckets parameters must yield nil")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must stay 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must stay 0")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.PublishExpvar("nil-reg")
+	if expvar.Get("nil-reg") != nil {
+		t.Fatal("nil registry must not publish expvar")
+	}
+}
+
+func TestKindMismatchIsDetached(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dual")
+	g := r.Gauge("dual") // same series name, different kind
+	g.Set(42)
+	c.Inc()
+	if got := r.Snapshot().Counters["dual"]; got != 1 {
+		t.Fatalf("registered counter = %d, want 1 (mismatched gauge must be detached)", got)
+	}
+	if _, ok := r.Snapshot().Gauges["dual"]; ok {
+		t.Fatal("mismatched-kind gauge must not enter the registry")
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total")
+			h := r.Histogram("conc_lat", []float64{1, 2})
+			g := r.Gauge("conc_gauge")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1.5)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["conc_total"]; got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := snap.Histograms["conc_lat"].Count; got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := snap.Gauges["conc_gauge"]; got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSONAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b", Label{"x", "1"}).Set(2)
+	r.Histogram("c", []float64{1}).Observe(0.5)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot must marshal: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("snapshot must round-trip: %v", err)
+	}
+	if decoded.Counters["a_total"] != 3 || decoded.Gauges[`b{x="1"}`] != 2 {
+		t.Fatalf("round-trip lost values: %+v", decoded)
+	}
+
+	r.PublishExpvar("telemetry_test_reg")
+	r.PublishExpvar("telemetry_test_reg") // duplicate publish must not panic
+	v := expvar.Get("telemetry_test_reg")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var viaExpvar Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &viaExpvar); err != nil {
+		t.Fatalf("expvar output is not snapshot JSON: %v", err)
+	}
+	if viaExpvar.Counters["a_total"] != 3 {
+		t.Fatalf("expvar snapshot = %+v", viaExpvar)
+	}
+}

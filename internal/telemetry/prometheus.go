@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` header per metric family followed by
+// its samples, histograms expanded into cumulative _bucket/_sum/_count
+// series. Arbitrary registered names and label values are sanitized and
+// escaped so the output is always lexically valid exposition text — the
+// encoder is fuzzed on that property.
+
+// WritePrometheus renders every registered metric. A nil Registry
+// writes nothing and returns nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, s := range r.snapshotSeries() {
+		name := SanitizeMetricName(s.name)
+		if name != lastFamily {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(kindName(s.kind))
+			bw.WriteByte('\n')
+			lastFamily = name
+		}
+		switch s.kind {
+		case kindCounter:
+			writeSample(bw, name, s.labels, nil, formatFloat(float64(s.counter.Value())))
+		case kindGauge:
+			writeSample(bw, name, s.labels, nil, formatFloat(s.gauge.Value()))
+		case kindGaugeFunc:
+			writeSample(bw, name, s.labels, nil, formatFloat(s.gaugeFn()))
+		case kindHistogram:
+			writeHistogram(bw, name, s.labels, s.hist)
+		}
+	}
+	return bw.Flush()
+}
+
+func kindName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writeHistogram expands one histogram into the cumulative exposition
+// series: name_bucket{le="…"} (including the mandatory +Inf bucket),
+// name_sum and name_count.
+func writeHistogram(w *bufio.Writer, name string, labels []Label, h *Histogram) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(w, name+"_bucket", labels, &Label{Key: "le", Value: formatFloat(b)}, strconv.FormatInt(cum, 10))
+	}
+	cum += h.inf.Load()
+	writeSample(w, name+"_bucket", labels, &Label{Key: "le", Value: "+Inf"}, strconv.FormatInt(cum, 10))
+	writeSample(w, name+"_sum", labels, nil, formatFloat(h.sum.Value()))
+	writeSample(w, name+"_count", labels, nil, strconv.FormatInt(h.count.Load(), 10))
+}
+
+// writeSample renders one exposition line. extra, when non-nil, is an
+// additional pre-sanitized label appended after the series labels (the
+// histogram `le` bound).
+func writeSample(w *bufio.Writer, name string, labels []Label, extra *Label, value string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		w.WriteByte('{')
+		n := 0
+		for _, l := range labels {
+			if n > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(SanitizeLabelName(l.Key))
+			w.WriteString(`="`)
+			w.WriteString(EscapeLabelValue(l.Value))
+			w.WriteByte('"')
+			n++
+		}
+		if extra != nil {
+			if n > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extra.Key)
+			w.WriteString(`="`)
+			w.WriteString(extra.Value)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value or bucket bound the way Prometheus
+// expects: shortest round-trip representation, with +Inf/-Inf/NaN
+// spelled in exposition style.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizeMetricName maps an arbitrary string onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; invalid runes become
+// '_' (bytewise, so multi-byte runes cannot smuggle invalid output) and
+// an empty or digit-led result is prefixed with '_'.
+func SanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+// SanitizeLabelName maps an arbitrary string onto the label-name
+// alphabet [a-zA-Z_][a-zA-Z0-9_]* (no colons).
+func SanitizeLabelName(name string) string {
+	return sanitize(name, false)
+}
+
+func sanitize(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0) ||
+			(allowColon && c == ':')
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteByte(c)
+			continue
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value for exposition: backslash,
+// double quote and newline are the three characters the format
+// requires escaping.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusBasic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", Label{"route", "/a"}).Add(3)
+	r.Gauge("depth").Set(2.5)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{route="/a"} 3`,
+		"# TYPE depth gauge",
+		"depth 2.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative and the sum correct.
+	if !strings.Contains(out, "lat_seconds_sum 5.55") {
+		t.Fatalf("missing histogram sum in:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird name-총", Label{"bad key", "va\"l\\ue\nx"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `weird_name____{bad_key="va\"l\\ue\nx"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("escaped output not parseable: %v", err)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x":  "ok_name:x",
+		"":           "_",
+		"9leading":   "_9leading",
+		"has space":  "has_space",
+		"dash-dot.x": "dash_dot_x",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := SanitizeLabelName("a:b"); got != "a_b" {
+		t.Errorf("label names must not keep colons, got %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		2.5:          "2.5",
+		3:            "3",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN must render as NaN")
+	}
+}
+
+// CheckExposition validates that every line of a rendered exposition is
+// lexically valid Prometheus text format: either a comment or
+// `name[{label="value",…}] value`. It is the oracle the fuzz target
+// shares, so it lives in the package under test.
+func CheckExposition(out string) error {
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return fmt.Errorf("line %d: %w (%q)", lineNo, err, line)
+			}
+			continue
+		}
+		if err := checkSample(line); err != nil {
+			return fmt.Errorf("line %d: %w (%q)", lineNo, err, line)
+		}
+	}
+	return sc.Err()
+}
+
+func checkComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) >= 4 && fields[1] == "TYPE" {
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("TYPE names invalid metric %q", fields[2])
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			return nil
+		}
+		return fmt.Errorf("unknown TYPE %q", fields[3])
+	}
+	return nil // other comments are free-form
+}
+
+func checkSample(line string) error {
+	rest := line
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0, true) {
+		i++
+	}
+	if i == 0 {
+		return fmt.Errorf("missing metric name")
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return err
+		}
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("missing space before value")
+	}
+	val := strings.TrimSpace(rest)
+	if val == "+Inf" || val == "-Inf" || val == "NaN" {
+		return nil
+	}
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return fmt.Errorf("bad value %q", val)
+	}
+	return nil
+}
+
+// scanLabels validates a {k="v",…} block and returns its length.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start, false) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("empty label name at %d", i)
+		}
+		if i+1 >= len(s) || s[i] != '=' || s[i+1] != '"' {
+			return 0, fmt.Errorf("label name not followed by =\"")
+		}
+		i += 2
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape")
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+					continue
+				}
+				return 0, fmt.Errorf("invalid escape \\%c", s[i+1])
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			if s[i] == '\n' {
+				return 0, fmt.Errorf("raw newline in label value")
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0, true) {
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+func isNameChar(c byte, first, allowColon bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	case c == ':':
+		return allowColon
+	}
+	return false
+}

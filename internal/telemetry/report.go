@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report bundles a finished span tree with a metrics snapshot — the
+// payload the CLIs' -telemetry-json flag emits.
+type Report struct {
+	Spans   *SpanTree `json:"spans,omitempty"`
+	Metrics Snapshot  `json:"metrics"`
+}
+
+// WriteReport renders a Report as indented JSON. Both arguments are
+// optional: a nil tracer omits the span tree, a nil registry yields an
+// empty metrics snapshot.
+func WriteReport(w io.Writer, tr *Tracer, reg *Registry) error {
+	raw, err := json.MarshalIndent(Report{Spans: tr.Finish(), Metrics: reg.Snapshot()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// WriteReportFile writes a Report to the named file, or to stdout when
+// path is "-".
+func WriteReportFile(path string, tr *Tracer, reg *Registry) error {
+	if path == "-" {
+		return WriteReport(os.Stdout, tr, reg)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := WriteReport(f, tr, reg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span tracing: a Tracer owns a root span; StartSpan derives children
+// through context.Context, so instrumented layers never pass spans
+// explicitly and un-traced runs (no tracer in the context) pay one
+// context lookup per span site and allocate nothing.
+//
+// Spans are safe for concurrent use: the engine's parallel attribute
+// scan starts sibling spans from multiple goroutines under one parent.
+
+// spanCtxKey carries the current *Span through a context chain.
+type spanCtxKey struct{}
+
+// Attr is one span attribute; exactly one of Int/Str is meaningful,
+// selected by isStr.
+type attr struct {
+	key   string
+	i     int64
+	s     string
+	isStr bool
+}
+
+// Span is one timed node of a trace tree. A nil *Span ignores every
+// operation, which is what StartSpan returns when no tracer is
+// installed.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []attr
+	children []*Span
+}
+
+// Tracer collects one span tree, rooted at the span WithTracer created.
+type Tracer struct {
+	root *Span
+}
+
+// WithTracer installs a new tracer on the context, rooted at a span
+// with the given name. Subsequent StartSpan calls on the derived
+// context build the tree.
+func WithTracer(ctx context.Context, rootName string) (context.Context, *Tracer) {
+	root := &Span{name: rootName, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, root), &Tracer{root: root}
+}
+
+// StartSpan begins a child of the context's current span, returning a
+// derived context (for further nesting) and the span. When the context
+// carries no tracer — or is nil — it returns the context unchanged and
+// a nil span whose methods no-op: tracing disabled costs one context
+// lookup and zero allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, sp)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// End marks the span finished. Double-End keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (cardinalities, counts).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, i: v})
+	s.mu.Unlock()
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, s: v, isStr: true})
+	s.mu.Unlock()
+}
+
+// SpanTree is the exportable form of a span and its subtree. Times are
+// microseconds: StartUS relative to the tracer root's start, DurUS the
+// span's own duration.
+type SpanTree struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"duration_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanTree    `json:"children,omitempty"`
+}
+
+// Finish ends the root span (if still open) and exports the whole tree.
+// Unfinished descendants are clamped to the root's end so durations are
+// never negative. Nil-safe.
+func (t *Tracer) Finish() *SpanTree {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	t.root.End()
+	t.root.mu.Lock()
+	rootEnd := t.root.end
+	t.root.mu.Unlock()
+	return export(t.root, t.root.start, rootEnd)
+}
+
+// JSON is Finish rendered as indented JSON.
+func (t *Tracer) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Finish(), "", "  ")
+}
+
+func export(s *Span, origin time.Time, fallbackEnd time.Time) *SpanTree {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if end.IsZero() || end.Before(s.start) {
+		end = fallbackEnd
+		if end.Before(s.start) {
+			end = s.start
+		}
+	}
+	node := &SpanTree{
+		Name:    s.name,
+		StartUS: s.start.Sub(origin).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+	}
+	if len(attrs) > 0 {
+		node.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			if a.isStr {
+				node.Attrs[a.key] = a.s
+			} else {
+				node.Attrs[a.key] = a.i
+			}
+		}
+	}
+	for _, c := range children {
+		node.Children = append(node.Children, export(c, origin, end))
+	}
+	return node
+}
+
+// Walk visits the tree depth-first, parents before children — the
+// traversal tests and reporters use to assert phase coverage.
+func (st *SpanTree) Walk(fn func(*SpanTree)) {
+	if st == nil {
+		return
+	}
+	fn(st)
+	for _, c := range st.Children {
+		c.Walk(fn)
+	}
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	ctx, tracer := WithTracer(context.Background(), "run")
+	sctx, scan := StartSpan(ctx, "scan")
+	scan.SetInt("attrs", 6)
+	_, probe := StartSpan(sctx, "probe")
+	probe.SetStr("mode", "binned")
+	probe.End()
+	scan.End()
+	_, second := StartSpan(ctx, "reduce")
+	second.End()
+
+	tree := tracer.Finish()
+	if tree == nil || tree.Name != "run" {
+		t.Fatalf("root = %+v", tree)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tree.Children))
+	}
+	if tree.Children[0].Name != "scan" || tree.Children[1].Name != "reduce" {
+		t.Fatalf("children = %q, %q", tree.Children[0].Name, tree.Children[1].Name)
+	}
+	sc := tree.Children[0]
+	if got := sc.Attrs["attrs"]; got != int64(6) {
+		t.Fatalf("scan attrs = %v (%T)", got, got)
+	}
+	if len(sc.Children) != 1 || sc.Children[0].Name != "probe" {
+		t.Fatalf("scan children = %+v", sc.Children)
+	}
+	if got := sc.Children[0].Attrs["mode"]; got != "binned" {
+		t.Fatalf("probe mode attr = %v", got)
+	}
+	if tree.DurUS < 0 || sc.DurUS < 0 || sc.StartUS < 0 {
+		t.Fatalf("negative times: %+v", tree)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "orphan")
+	if sp != nil {
+		t.Fatal("no tracer: span must be nil")
+	}
+	if ctx2 != ctx {
+		t.Fatal("no tracer: context must be unchanged")
+	}
+	// All nil-span operations must be safe.
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+
+	var nilCtx context.Context
+	if _, sp := StartSpan(nilCtx, "x"); sp != nil {
+		t.Fatal("nil context must yield nil span")
+	}
+	var nilTracer *Tracer
+	if nilTracer.Finish() != nil {
+		t.Fatal("nil tracer Finish must be nil")
+	}
+}
+
+func TestConcurrentSiblingSpans(t *testing.T) {
+	ctx, tracer := WithTracer(context.Background(), "scan")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "probe")
+			sp.SetInt("attr", int64(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	tree := tracer.Finish()
+	if len(tree.Children) != n {
+		t.Fatalf("children = %d, want %d", len(tree.Children), n)
+	}
+	seen := map[int64]bool{}
+	for _, c := range tree.Children {
+		seen[c.Attrs["attr"].(int64)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("lost attributes: %d distinct, want %d", len(seen), n)
+	}
+}
+
+func TestUnfinishedSpanClampedToRoot(t *testing.T) {
+	ctx, tracer := WithTracer(context.Background(), "run")
+	_, sp := StartSpan(ctx, "leaky") // never ended
+	_ = sp
+	tree := tracer.Finish()
+	if len(tree.Children) != 1 {
+		t.Fatalf("children = %d", len(tree.Children))
+	}
+	c := tree.Children[0]
+	if c.DurUS < 0 || c.StartUS+c.DurUS > tree.DurUS+1000 {
+		t.Fatalf("unfinished span not clamped: root %+v child %+v", tree, c)
+	}
+}
+
+func TestTracerJSONRoundTrip(t *testing.T) {
+	ctx, tracer := WithTracer(context.Background(), "audit")
+	_, sp := StartSpan(ctx, "scan")
+	sp.SetInt("pairs", 10)
+	sp.End()
+	raw, err := tracer.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree SpanTree
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatalf("span JSON must round-trip: %v\n%s", err, raw)
+	}
+	if tree.Name != "audit" || len(tree.Children) != 1 || tree.Children[0].Name != "scan" {
+		t.Fatalf("decoded tree = %+v", tree)
+	}
+	names := []string{}
+	tree.Walk(func(s *SpanTree) { names = append(names, s.Name) })
+	if len(names) != 2 || names[0] != "audit" || names[1] != "scan" {
+		t.Fatalf("walk order = %v", names)
+	}
+}
