@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 7
 
-.PHONY: build test bench bench-monitor bench-json telemetry-overhead verify fuzz-smoke cover
+.PHONY: build test bench bench-monitor bench-json bench-jobs telemetry-overhead verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ bench-monitor:
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchmem -benchtime 2000x -count 3 ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_4.json
+
+# bench-jobs emits BENCH_5.json: job-scheduler throughput (memory vs
+# durable store, 1 vs 4 workers) and the dedup fast path, parsed into the
+# same JSON artifact format as bench-json. Format in EXPERIMENTS.md.
+bench-jobs:
+	$(GO) test -run '^$$' -bench 'BenchmarkJobs' -benchmem -benchtime 200x -count 3 ./internal/jobs/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_5.json
 
 # telemetry-overhead is the CI gate for the observability layer: the
 # always-on metrics path (what fairserve enables per request) must stay
@@ -68,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzPrometheus$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz '^FuzzJobSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/jobs/
 
 # cover writes a module-wide coverage profile (uploaded as a CI artifact).
 cover:

@@ -17,9 +17,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fairrank/internal/server"
 	"fairrank/internal/simulate"
@@ -52,6 +57,9 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "bootstrap generation seed")
 		auditLimit = flag.Int("audit-limit", 4, "maximum concurrent audit requests (excess get 503)")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+		jobWorkers = flag.Int("job-workers", 2, "async audit job worker pool size")
+		jobQueue   = flag.Int("job-queue", 64, "maximum queued+running async jobs (excess get 429)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests and jobs")
 	)
 	flag.Parse()
 
@@ -78,6 +86,8 @@ func main() {
 		server.WithRequestLog(log.Printf),
 		server.WithAuditLimit(*auditLimit),
 		server.WithMetrics(metrics),
+		server.WithJobWorkers(*jobWorkers),
+		server.WithJobQueueLimit(*jobQueue),
 	}
 	if *pprofOn {
 		srvOpts = append(srvOpts, server.WithPprof())
@@ -86,8 +96,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops admission (the
+	// listener first, so nothing new arrives; then the job queue) and
+	// drains in-flight work under the -drain deadline. Jobs that outlive
+	// the deadline are parked durably and resume on the next start. A
+	// second signal kills the process the old-fashioned way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on %s (store: %s)", *addr, *dbPath)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal handling: a second signal is fatal
+	log.Printf("shutting down (drain deadline %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("job queue drain: %v (unfinished jobs stay queued for the next start)", err)
+	}
+	if err := db.Sync(); err != nil && !errors.Is(err, store.ErrClosed) {
+		log.Printf("store sync: %v", err)
+	}
+	log.Printf("bye")
 }

@@ -1,0 +1,60 @@
+package jobs
+
+import (
+	"time"
+
+	"fairrank/internal/rng"
+)
+
+// Backoff is the retry delay policy: capped exponential growth with
+// multiplicative jitter. Attempt n (1-based) waits
+//
+//	min(Base·2^(n-1), Max) · (1 + U[0, Jitter))
+//
+// The jitter decorrelates retries of jobs that failed together (e.g. a
+// batch poisoned by one bad dataset snapshot), so they do not hammer the
+// worker pool in lockstep.
+type Backoff struct {
+	// Base is the first retry's delay. <= 0 selects DefaultBackoff.Base.
+	Base time.Duration
+	// Max caps the exponential growth. <= 0 selects DefaultBackoff.Max.
+	Max time.Duration
+	// Jitter is the maximum fractional inflation in [0, 1]; out-of-range
+	// values select DefaultBackoff.Jitter.
+	Jitter float64
+}
+
+// DefaultBackoff is the policy used when Options.Backoff is zero.
+var DefaultBackoff = Backoff{Base: 500 * time.Millisecond, Max: 30 * time.Second, Jitter: 0.25}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBackoff.Base
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultBackoff.Max
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = DefaultBackoff.Jitter
+	}
+	return b
+}
+
+// Delay returns the wait before retry `attempt` (1-based: the delay after
+// the first failed run is Delay(1)), drawing jitter from r.
+func (b Backoff) Delay(attempt int, r *rng.RNG) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.Base
+	for i := 1; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 && r != nil {
+		d += time.Duration(float64(d) * b.Jitter * r.Float64())
+	}
+	return d
+}

@@ -1,0 +1,37 @@
+// Package jobs is the durable asynchronous audit tier between the HTTP
+// edge and the engine: it turns audit specifications into managed
+// background jobs with a persisted state machine, so a production
+// deployment can queue, deduplicate, prioritize, retry and recover
+// fairness audits instead of running each one synchronously inside an
+// HTTP request.
+//
+// The pieces:
+//
+//   - Job is the unit of work: an audit Spec plus scheduling state
+//     (priority, attempt count, timestamps) driven through the state
+//     machine queued → running → {done, failed, canceled}. Every
+//     transition is persisted as one record in the embedded store, so a
+//     crashed or restarted process replays the log and requeues whatever
+//     was queued or running when it died.
+//
+//   - Queue owns a bounded worker pool. Dispatch is by priority (higher
+//     first, FIFO within a priority via a monotonic sequence number)
+//     through a binary heap. Each running job gets its own cancelable
+//     context; failures retry with capped exponential backoff plus
+//     jitter; identical submissions — identified by the canonical
+//     core.Spec hash — coalesce onto one job (singleflight), and a TTL
+//     result cache answers resubmissions of recently completed specs
+//     without re-running the engine. Admission control sheds load with a
+//     typed FullError (the HTTP layer maps it to 429 + Retry-After) once
+//     the active set reaches its bound.
+//
+//   - The event hub fans out per-job lifecycle and engine-progress
+//     events to subscribers, which is what GET /v1/jobs/{id}/events
+//     streams as server-sent events.
+//
+// The queue is engine-agnostic: it runs an Executor callback and stores
+// the bytes it returns. The HTTP server supplies an executor that
+// resolves the spec's dataset, drives core.Run, and serializes a
+// deterministic result — deterministic so that a job interrupted by a
+// crash and re-run after recovery reproduces its result bit-identically.
+package jobs

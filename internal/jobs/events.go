@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"sync"
+
+	"fairrank/internal/core"
+)
+
+// EventType discriminates the two event streams a job emits.
+type EventType string
+
+const (
+	// EventState marks a lifecycle transition; Event.State carries the
+	// new state.
+	EventState EventType = "state"
+	// EventProgress carries one engine TraceStep from the running audit.
+	EventProgress EventType = "progress"
+)
+
+// Event is one entry in a job's event stream, as delivered to
+// subscribers and serialized onto the SSE wire.
+type Event struct {
+	// Seq numbers events within one job, from 1; subscribers can resume
+	// dedup across replay + live delivery by sequence.
+	Seq int `json:"seq"`
+	// Type selects which payload fields are set.
+	Type EventType `json:"type"`
+	// State is the lifecycle state entered (state events).
+	State State `json:"state,omitempty"`
+	// Attempt is the attempt number the event belongs to.
+	Attempt int `json:"attempt,omitempty"`
+	// Error carries the failure reason on failed/retrying transitions.
+	Error string `json:"error,omitempty"`
+	// Step is the engine trace step (progress events).
+	Step *core.TraceStep `json:"step,omitempty"`
+}
+
+// maxBufferedEvents bounds one job's replay buffer. Progress events
+// beyond the bound are still broadcast live but not retained; state
+// events are always retained (there are at most a handful per job).
+const maxBufferedEvents = 512
+
+// subBuffer is each subscriber's channel capacity. A subscriber that
+// falls further behind than this (a stalled SSE client) loses events
+// rather than stalling the scheduler; droppedEvents counts the loss.
+const subBuffer = 64
+
+// eventHub fans per-job events out to subscribers and keeps a bounded
+// replay buffer so late subscribers see the history. Terminal jobs are
+// evicted entirely — their full record (including the result) lives in
+// the queue/store, so the hub only ever holds state for live jobs.
+type eventHub struct {
+	mu   sync.Mutex
+	jobs map[string]*jobStream
+	// dropped counts events discarded because a subscriber's channel was
+	// full; surfaced as a telemetry counter by the queue.
+	dropped func()
+}
+
+type jobStream struct {
+	events   []Event // replay buffer, bounded by maxBufferedEvents
+	progress int     // how many of events are progress events
+	nextSeq  int
+	subs     map[int]chan Event
+	nextSub  int
+}
+
+func newEventHub(dropped func()) *eventHub {
+	if dropped == nil {
+		dropped = func() {}
+	}
+	return &eventHub{jobs: map[string]*jobStream{}, dropped: dropped}
+}
+
+func (h *eventHub) stream(id string) *jobStream {
+	s := h.jobs[id]
+	if s == nil {
+		s = &jobStream{subs: map[int]chan Event{}}
+		h.jobs[id] = s
+	}
+	return s
+}
+
+// publish appends ev to the job's stream and broadcasts it. A terminal
+// state event closes every subscriber channel and evicts the stream.
+func (h *eventHub) publish(id string, ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.stream(id)
+	s.nextSeq++
+	ev.Seq = s.nextSeq
+	if ev.Type != EventProgress || s.progress < maxBufferedEvents {
+		s.events = append(s.events, ev)
+		if ev.Type == EventProgress {
+			s.progress++
+		}
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped()
+		}
+	}
+	if ev.Type == EventState && ev.State.Terminal() {
+		for _, ch := range s.subs {
+			close(ch)
+		}
+		delete(h.jobs, id)
+	}
+}
+
+// subscribe returns the replay buffer and a live channel. The channel is
+// closed when the job reaches a terminal state; cancel detaches early
+// (idempotent, safe after close). For a job already evicted (terminal
+// before any subscription), ok is false and the caller synthesizes the
+// replay from the job record.
+func (h *eventHub) subscribe(id string) (replay []Event, ch <-chan Event, cancel func(), ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.jobs[id]
+	if s == nil {
+		return nil, nil, nil, false
+	}
+	replay = append([]Event(nil), s.events...)
+	c := make(chan Event, subBuffer)
+	sub := s.nextSub
+	s.nextSub++
+	s.subs[sub] = c
+	cancel = func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if cur := h.jobs[id]; cur == s {
+			delete(s.subs, sub)
+		}
+	}
+	return replay, c, cancel, true
+}

@@ -1,0 +1,32 @@
+package jobs
+
+// jobHeap is the dispatch order: a binary max-heap on (priority, -seq).
+// Higher priority pops first; within a priority, lower sequence numbers
+// (earlier submissions) pop first, so equal-priority dispatch is FIFO.
+//
+// Cancellation removes lazily: a job canceled while heaped keeps its slot
+// and is skipped at pop time (its State is no longer queued), which keeps
+// Cancel O(1) instead of O(n) heap surgery.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *jobHeap) Push(x any) { *h = append(*h, x.(*Job)) }
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

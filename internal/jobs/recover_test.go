@@ -1,0 +1,201 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fairrank/internal/core"
+	"fairrank/internal/store"
+)
+
+// deterministicExec is a stand-in for the audit engine that honors the
+// executor contract: its output is a pure function of the spec, so a
+// recovered re-run must reproduce it bit for bit.
+func deterministicExec(ctx context.Context, j Job, progress func(core.TraceStep)) ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"algo":%q,"seed":%d}`, j.Spec.Algorithm, j.Spec.Seed)), nil
+}
+
+func openStore(t *testing.T, path string) *store.DB {
+	t.Helper()
+	db, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestRecoverMidRunCrash is the tentpole durability scenario: a job is
+// mid-execution when the process dies (Kill suppresses all persistence,
+// so the store still says "running" — exactly the power-cut signature).
+// A fresh queue over the reopened store must requeue it and complete it
+// with a result bit-identical to an uninterrupted run.
+func TestRecoverMidRunCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	db := openStore(t, path)
+
+	started := make(chan struct{})
+	blockingExec := func(ctx context.Context, j Job, progress func(core.TraceStep)) ([]byte, error) {
+		close(started)
+		<-ctx.Done() // hold the job mid-run until the crash
+		return nil, ctx.Err()
+	}
+	q1, err := New(db, blockingExec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("crash")
+	spec.Seed = 99
+	j, created, err := q1.Submit(spec, "h-crash")
+	if err != nil || !created {
+		t.Fatalf("Submit = (%v, %v)", created, err)
+	}
+	<-started
+	if got := waitState(t, q1, j.ID, StateRunning); got.Attempt != 1 {
+		t.Fatalf("pre-crash job = %+v", got)
+	}
+	q1.Kill()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store must still carry the running-state record: Kill persisted
+	// nothing after the crash point.
+	db2 := openStore(t, path)
+	raw, ok := db2.Get(bucketJobs, j.ID)
+	if !ok || !bytes.Contains(raw, []byte(`"state":"running"`)) {
+		t.Fatalf("store record after crash = %s", raw)
+	}
+
+	q2, err := New(db2, deterministicExec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, q2, j.ID, StateDone)
+	if !got.Recovered {
+		t.Fatal("recovered job must be flagged Recovered")
+	}
+	if got.Attempt != 2 {
+		t.Fatalf("attempt after recovery = %d, want 2 (interrupted run counted)", got.Attempt)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical contract: a clean, never-crashed run of the same spec
+	// produces the same bytes.
+	clean, err := New(nil, deterministicExec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _, _ := clean.Submit(spec, "h-crash")
+	cgot := waitState(t, clean, cj.ID, StateDone)
+	if !bytes.Equal(got.Result, cgot.Result) {
+		t.Fatalf("recovered result diverged:\n  recovered %s\n  clean     %s", got.Result, cgot.Result)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = clean.Shutdown(ctx2)
+}
+
+// TestRecoverQueuedAtCrash covers the other crash signature: jobs that
+// never reached a worker (store says "queued") must requeue too.
+func TestRecoverQueuedAtCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	db := openStore(t, path)
+	// Workers: -1 starts no workers, so submissions stay durably queued.
+	q1, err := New(db, deterministicExec, Options{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := q1.Submit(testSpec("a"), "ha")
+	b, _, _ := q1.Submit(testSpec("b"), "hb")
+	q1.Kill()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openStore(t, path)
+	defer db2.Close()
+	q2, err := New(db2, deterministicExec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = q2.Shutdown(ctx)
+	}()
+	for _, id := range []string{a.ID, b.ID} {
+		got := waitState(t, q2, id, StateDone)
+		if !got.Recovered || got.Attempt != 1 {
+			t.Fatalf("recovered queued job = %+v", got)
+		}
+	}
+	// ID allocation must continue past recovered records, not collide.
+	c, created, err := q2.Submit(testSpec("c"), "hc")
+	if err != nil || !created {
+		t.Fatalf("post-recovery submit = (%v, %v)", created, err)
+	}
+	if c.ID != "job-000003" {
+		t.Fatalf("post-recovery ID = %s, want job-000003", c.ID)
+	}
+	waitState(t, q2, c.ID, StateDone)
+}
+
+// TestRecoverTerminalHistory pins that finished jobs reload as history:
+// results stay queryable across restarts, and a done job inside its TTL
+// re-arms the result cache so resubmission is still a cache hit.
+func TestRecoverTerminalHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	db := openStore(t, path)
+	q1, err := New(db, deterministicExec, Options{Workers: 1, ResultTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _, _ := q1.Submit(testSpec("d"), "hd")
+	doneSnap := waitState(t, q1, done.ID, StateDone)
+	canceled, _, _ := q1.Submit(Spec{Dataset: "demo", Weights: map[string]float64{"Score": 1}, Algorithm: "x", Priority: -1}, "hx")
+	// Cancel may race the worker; accept either queued- or running-cancel.
+	if _, err := q1.Cancel(canceled.ID); err != nil && err != ErrTerminal {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = q1.Shutdown(ctx)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openStore(t, path)
+	defer db2.Close()
+	q2, err := New(db2, deterministicExec, Options{Workers: 1, ResultTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = q2.Shutdown(ctx)
+	}()
+	got, ok := q2.Get(done.ID)
+	if !ok || got.State != StateDone || !bytes.Equal(got.Result, doneSnap.Result) {
+		t.Fatalf("reloaded done job = %+v", got)
+	}
+	// The reloaded result must answer a resubmission without a new run.
+	hit, created, err := q2.Submit(testSpec("d"), "hd")
+	if err != nil || created || hit.ID != done.ID {
+		t.Fatalf("post-restart dedup = (%v, %v, %v)", hit.ID, created, err)
+	}
+	if q2.Runs() != 0 {
+		t.Fatalf("reload triggered %d runs, want 0", q2.Runs())
+	}
+}

@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"time"
+
+	"fairrank/internal/telemetry"
+)
+
+// Metric names exported on the queue's registry.
+const (
+	// MetricSubmitted counts accepted submissions that created a new job.
+	MetricSubmitted = "fairrank_jobs_submitted_total"
+	// MetricDeduped counts submissions coalesced onto an active job with
+	// the same spec hash.
+	MetricDeduped = "fairrank_jobs_deduped_total"
+	// MetricCacheHits counts submissions answered from the TTL result
+	// cache without a new run.
+	MetricCacheHits = "fairrank_jobs_result_cache_hits_total"
+	// MetricShed counts submissions rejected by admission control.
+	MetricShed = "fairrank_jobs_shed_total"
+	// MetricRuns counts executor invocations (attempts actually started).
+	MetricRuns = "fairrank_jobs_runs_total"
+	// MetricRetries counts failed attempts that were requeued.
+	MetricRetries = "fairrank_jobs_retries_total"
+	// MetricCompleted counts terminal transitions, labeled by final state.
+	MetricCompleted = "fairrank_jobs_completed_total"
+	// MetricRecovered counts jobs requeued by crash recovery at startup.
+	MetricRecovered = "fairrank_jobs_recovered_total"
+	// MetricPersistErrors counts job-record writes the store rejected
+	// (the scheduler keeps going; durability degrades until the store
+	// recovers).
+	MetricPersistErrors = "fairrank_jobs_persist_errors_total"
+	// MetricEventsDropped counts events discarded because a subscriber
+	// fell behind.
+	MetricEventsDropped = "fairrank_jobs_events_dropped_total"
+	// MetricDepth gauges the live population, labeled by state
+	// (queued/running).
+	MetricDepth = "fairrank_jobs_depth"
+	// MetricOldestAge gauges the age in seconds of the oldest queued job
+	// (0 when idle) — the primary "is the pool keeping up" signal.
+	MetricOldestAge = "fairrank_jobs_oldest_queued_age_seconds"
+	// MetricWaitSeconds is the queue-wait histogram (enqueue → first run).
+	MetricWaitSeconds = "fairrank_jobs_wait_seconds"
+	// MetricRunSeconds is the run-latency histogram per attempt.
+	MetricRunSeconds = "fairrank_jobs_run_seconds"
+)
+
+// queueMetrics resolves every series once at construction; nil-safe
+// no-ops when the queue has no registry, mirroring the engine's pattern.
+type queueMetrics struct {
+	submitted     *telemetry.Counter
+	deduped       *telemetry.Counter
+	cacheHits     *telemetry.Counter
+	shed          *telemetry.Counter
+	runs          *telemetry.Counter
+	retries       *telemetry.Counter
+	done          *telemetry.Counter
+	failed        *telemetry.Counter
+	canceled      *telemetry.Counter
+	recovered     *telemetry.Counter
+	persistErrors *telemetry.Counter
+	eventsDropped *telemetry.Counter
+	depthQueued   *telemetry.Gauge
+	depthRunning  *telemetry.Gauge
+	waitSeconds   *telemetry.Histogram
+	runSeconds    *telemetry.Histogram
+}
+
+func newQueueMetrics(reg *telemetry.Registry, oldestAge func() float64) queueMetrics {
+	if reg == nil {
+		return queueMetrics{}
+	}
+	state := func(v string) telemetry.Label { return telemetry.Label{Key: "state", Value: v} }
+	reg.GaugeFunc(MetricOldestAge, oldestAge)
+	return queueMetrics{
+		submitted:     reg.Counter(MetricSubmitted),
+		deduped:       reg.Counter(MetricDeduped),
+		cacheHits:     reg.Counter(MetricCacheHits),
+		shed:          reg.Counter(MetricShed),
+		runs:          reg.Counter(MetricRuns),
+		retries:       reg.Counter(MetricRetries),
+		done:          reg.Counter(MetricCompleted, state(string(StateDone))),
+		failed:        reg.Counter(MetricCompleted, state(string(StateFailed))),
+		canceled:      reg.Counter(MetricCompleted, state(string(StateCanceled))),
+		recovered:     reg.Counter(MetricRecovered),
+		persistErrors: reg.Counter(MetricPersistErrors),
+		eventsDropped: reg.Counter(MetricEventsDropped),
+		depthQueued:   reg.Gauge(MetricDepth, state(string(StateQueued))),
+		depthRunning:  reg.Gauge(MetricDepth, state(string(StateRunning))),
+		waitSeconds:   reg.Histogram(MetricWaitSeconds, telemetry.DefBuckets()),
+		runSeconds:    reg.Histogram(MetricRunSeconds, telemetry.DefBuckets()),
+	}
+}
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func setGauge(g *telemetry.Gauge, v float64) {
+	if g != nil {
+		g.Set(v)
+	}
+}
+
+func observeSince(h *telemetry.Histogram, start time.Time) {
+	if h != nil {
+		h.ObserveSince(start)
+	}
+}

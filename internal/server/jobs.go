@@ -1,0 +1,272 @@
+// Async audit jobs: the HTTP surface over internal/jobs. Synchronous
+// POST /v1/audits stays for small interactive runs; everything heavy goes
+// through here — submit, poll, follow as SSE, cancel — with admission
+// control shedding load instead of monopolizing connections.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"fairrank/internal/core"
+	"fairrank/internal/emd"
+	"fairrank/internal/jobs"
+	"fairrank/internal/scoring"
+)
+
+const (
+	maxJobBodyBytes = 1 << 20
+	// defaultJobPage and maxJobPage bound GET /v1/jobs pages: a
+	// long-running server accumulates unbounded job history in the store,
+	// and serializing it all in one response would balloon without limit.
+	defaultJobPage = 50
+	maxJobPage     = 500
+)
+
+// jobResult is the stored output of an async audit. It deliberately
+// carries no wall-clock fields (unlike the synchronous auditResponse's
+// elapsed_seconds): crash recovery re-runs interrupted jobs and promises
+// a bit-identical result, so everything here must be a pure function of
+// the spec.
+type jobResult struct {
+	Dataset    string           `json:"dataset"`
+	Algorithm  string           `json:"algorithm"`
+	Unfairness float64          `json:"unfairness"`
+	Partitions []auditPartition `json:"partitions"`
+}
+
+// jobPage is the paginated GET /v1/jobs response.
+type jobPage struct {
+	Jobs   []jobs.Job `json:"jobs"`
+	Total  int        `json:"total"`
+	Offset int        `json:"offset"`
+	Limit  int        `json:"limit"`
+}
+
+// resolveJobSpec turns a wire spec into the core.Spec it will execute,
+// validating every reference against live server state. It is called at
+// submit time (for validation and the canonical hash) and again at
+// execution time (datasets can change between the two — the run uses
+// whatever the name resolves to then, exactly like a synchronous audit
+// issued at that moment).
+func (s *Server) resolveJobSpec(sp jobs.Spec) (core.Spec, error) {
+	s.mu.RLock()
+	ds, ok := s.datasets[sp.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		return core.Spec{}, fmt.Errorf("dataset %q not found", sp.Dataset)
+	}
+	f, err := scoring.NewLinear("job-fn", sp.Weights)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	if err := f.Validate(ds.Schema()); err != nil {
+		return core.Spec{}, err
+	}
+	cfg := core.Config{Bins: sp.Bins, Metrics: s.metrics}
+	if sp.Metric != "" {
+		m, err := emd.ParseMetric(sp.Metric)
+		if err != nil {
+			return core.Spec{}, err
+		}
+		cfg.Metric = m
+	}
+	var attrs []int
+	if sp.Attributes != nil {
+		for _, name := range sp.Attributes {
+			i := ds.Schema().ProtectedIndex(name)
+			if i < 0 {
+				return core.Spec{}, fmt.Errorf("%q is not a protected attribute", name)
+			}
+			attrs = append(attrs, i)
+		}
+	}
+	return core.Spec{
+		Algorithm: sp.Algorithm,
+		Dataset:   ds,
+		Func:      f,
+		Config:    cfg,
+		Attrs:     attrs,
+		Seed:      sp.Seed,
+		Budget:    sp.Budget,
+	}, nil
+}
+
+// execJob is the queue's executor: resolve the spec, drive the engine
+// under the job's context, and serialize the deterministic result.
+func (s *Server) execJob(ctx context.Context, j jobs.Job, progress func(core.TraceStep)) ([]byte, error) {
+	spec, err := s.resolveJobSpec(j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Progress = progress
+	res, err := core.Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := jobResult{
+		Dataset:    j.Spec.Dataset,
+		Algorithm:  res.Algorithm,
+		Unfairness: res.Unfairness,
+		Partitions: []auditPartition{},
+	}
+	schema := spec.Dataset.Schema()
+	for _, p := range res.Partitioning.Parts {
+		out.Partitions = append(out.Partitions, auditPartition{Label: p.Label(schema), Size: p.Size()})
+	}
+	sort.Slice(out.Partitions, func(i, k int) bool {
+		return out.Partitions[i].Label < out.Partitions[k].Label
+	})
+	return json.Marshal(out)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBodyBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxJobBodyBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, errors.New("job spec exceeds size limit"))
+		return
+	}
+	spec, err := jobs.DecodeSpec(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve now so bad submissions fail fast with a 4xx instead of
+	// becoming failed jobs, and to derive the canonical dedup hash.
+	cspec, err := s.resolveJobSpec(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, created, err := s.jobs.Submit(spec, cspec.Hash())
+	var full *jobs.FullError
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds())))
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !created {
+		// Coalesced onto an existing job (active dedup or result cache).
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	limit := defaultJobPage
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = min(n, maxJobPage)
+	}
+	offset := 0
+	if v := qp.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+			return
+		}
+		offset = n
+	}
+	state := jobs.State(qp.Get("state"))
+	switch state {
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad state %q", state))
+		return
+	}
+	page, total := s.jobs.List(state, offset, limit)
+	writeJSON(w, http.StatusOK, jobPage{Jobs: page, Total: total, Offset: offset, Limit: limit})
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.jobs.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+	case errors.Is(err, jobs.ErrTerminal):
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %q already %s", id, job.State))
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, job)
+	}
+}
+
+// handleJobEvents streams a job's lifecycle and engine progress as
+// server-sent events: replayed history first, then live events until the
+// job reaches a terminal state or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	replay, live, cancel, err := s.jobs.Subscribe(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	defer cancel()
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeEvent := func(ev jobs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // terminal state reached; stream complete
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

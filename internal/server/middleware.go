@@ -26,6 +26,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// handlers behind the instrumentation (notably the SSE job-event stream,
+// which must Flush per event) reach the real connection's Flusher.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // withRecovery converts handler panics into 500 responses instead of
 // killing the connection (and, under some servers, the process): a single
 // malformed audit request must never take the platform down.

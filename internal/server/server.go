@@ -14,9 +14,14 @@
 //	GET  /v1/tasks                    list tasks
 //	GET  /v1/rank?task=&k=&q=         ranked (optionally query-filtered) workers
 //	GET  /v1/algorithms               list registered audit algorithms
-//	POST /v1/audits                   run an audit (see auditRequest)
+//	POST /v1/audits                   run an audit synchronously (see auditRequest)
 //	GET  /v1/audits                   list stored audit results
 //	GET  /v1/audits/{id}              one stored audit result
+//	POST /v1/jobs                     submit an async audit job (202; 429 when full)
+//	GET  /v1/jobs                     list jobs (paginated: limit/offset/state)
+//	GET  /v1/jobs/{id}                job status + result
+//	DELETE /v1/jobs/{id}              cancel a queued or running job
+//	GET  /v1/jobs/{id}/events         follow job lifecycle + progress (SSE)
 //	POST /v1/rerank                   exposure-parity re-rank a task's page
 //	POST /v1/repair                   before/after unfairness of score repair
 //	POST /v1/explain                  per-attribute importance for a function
@@ -25,6 +30,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -39,6 +45,7 @@ import (
 	"fairrank/internal/dataset"
 	"fairrank/internal/emd"
 	"fairrank/internal/explain"
+	"fairrank/internal/jobs"
 	"fairrank/internal/marketplace"
 	"fairrank/internal/partition"
 	"fairrank/internal/repair"
@@ -68,6 +75,13 @@ type Server struct {
 	metrics *telemetry.Registry
 	// pprof mounts /debug/pprof/ when set (see WithPprof).
 	pprof bool
+	// jobs is the durable async audit scheduler behind /v1/jobs.
+	jobs *jobs.Queue
+	// jobOpts tunes the queue; see WithJobWorkers / WithJobQueueLimit.
+	jobOpts jobs.Options
+	// jobExecWrap, when non-nil, wraps the job executor — a seam for
+	// crash/recovery tests to gate or observe runs.
+	jobExecWrap func(jobs.Executor) jobs.Executor
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset.Dataset
@@ -85,6 +99,17 @@ func WithRequestLog(logf func(format string, args ...any)) ServerOption {
 // WithAuditLimit bounds concurrent audit requests; excess requests get 503.
 func WithAuditLimit(n int) ServerOption {
 	return func(s *Server) { s.auditLimit = n }
+}
+
+// WithJobWorkers sets the async-audit worker pool size (default 2).
+func WithJobWorkers(n int) ServerOption {
+	return func(s *Server) { s.jobOpts.Workers = n }
+}
+
+// WithJobQueueLimit bounds admitted (queued + running) async jobs; excess
+// submissions get 429 with a Retry-After hint (default 64).
+func WithJobQueueLimit(n int) ServerOption {
+	return func(s *Server) { s.jobOpts.MaxActive = n }
 }
 
 // New builds a Server over an open store, reloading any persisted dataset
@@ -114,7 +139,31 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 		s.datasets[name] = ds
 	}
 	s.auditSeq = db.Len(bucketAudits)
+	// The queue starts after datasets reload so recovered jobs can
+	// resolve their specs the moment a worker picks them up.
+	exec := jobs.Executor(s.execJob)
+	if s.jobExecWrap != nil {
+		exec = s.jobExecWrap(exec)
+	}
+	s.jobOpts.Metrics = s.metrics
+	s.jobOpts.Logf = s.logf
+	q, err := jobs.New(db, exec, s.jobOpts)
+	if err != nil {
+		return nil, fmt.Errorf("server: job queue: %w", err)
+	}
+	s.jobs = q
 	return s, nil
+}
+
+// Jobs exposes the async audit queue (metrics, tests, embedding).
+func (s *Server) Jobs() *jobs.Queue { return s.jobs }
+
+// Shutdown drains the server's background work: job admission stops, the
+// worker pool drains until ctx expires, and whatever remains is parked
+// durably for the next process. The HTTP listener is owned by the caller
+// (cmd/fairserve) and must be shut down first so no new jobs arrive.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
 }
 
 // Handler returns the HTTP handler with all routes mounted. Every route
@@ -143,6 +192,11 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/audits", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleRunAudit)))
 	handleFunc("GET /v1/audits", s.handleListAudits)
 	handleFunc("GET /v1/audits/{id}", s.handleGetAudit)
+	handleFunc("POST /v1/jobs", s.handleSubmitJob)
+	handleFunc("GET /v1/jobs", s.handleListJobs)
+	handleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	handleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	handleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	handleFunc("POST /v1/rerank", s.handleRerank)
 	handleFunc("POST /v1/repair", s.handleRepair)
 	handle("POST /v1/explain", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleExplain)))

@@ -383,6 +383,22 @@ func (db *DB) Compact() error {
 	return nil
 }
 
+// Sync flushes buffered log writes to stable storage. With Options.Sync
+// unset, writes only reach the OS write-back cache; graceful shutdown
+// calls Sync so an orderly exit never loses acknowledged records even
+// when per-write fsync was traded away for throughput.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
+
 // Close releases the underlying file. Further operations fail with
 // ErrClosed.
 func (db *DB) Close() error {

@@ -239,6 +239,20 @@ func TestCompact(t *testing.T) {
 	}
 }
 
+func TestSync(t *testing.T) {
+	db, _ := openTemp(t)
+	if err := db.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Errorf("Sync on open db: %v", err)
+	}
+	db.Close()
+	if err := db.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close err = %v, want ErrClosed", err)
+	}
+}
+
 func TestClosedOperations(t *testing.T) {
 	db, _ := openTemp(t)
 	db.Close()
