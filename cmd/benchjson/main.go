@@ -42,6 +42,7 @@ type auditInfo struct {
 	Seed       uint64  `json:"seed"`
 	Algorithm  string  `json:"algorithm"`
 	Bins       int     `json:"bins"`
+	Prune      bool    `json:"prune"`
 	Unfairness float64 `json:"unfairness"`
 	ElapsedNS  int64   `json:"elapsed_ns"`
 }
@@ -55,9 +56,10 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "reference-audit seed")
 		bins    = flag.Int("bins", 10, "histogram bins for the reference audit")
 		algo    = flag.String("algo", "balanced", "reference-audit algorithm")
+		prune   = flag.Bool("prune", false, "enable the branch-and-bound pruning cascade in the reference audit")
 	)
 	flag.Parse()
-	a, err := build(os.Stdin, *workers, *seed, *bins, *algo)
+	a, err := build(os.Stdin, *workers, *seed, *bins, *algo, *prune)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,12 +79,12 @@ func main() {
 		*out, len(a.Benchmarks), len(a.Telemetry.Counters))
 }
 
-func build(in io.Reader, workers int, seed uint64, bins int, algo string) (*artifact, error) {
+func build(in io.Reader, workers int, seed uint64, bins int, algo string, prune bool) (*artifact, error) {
 	results, err := benchfmt.Parse(in)
 	if err != nil {
 		return nil, err
 	}
-	audit, snap, err := referenceAudit(workers, seed, bins, algo)
+	audit, snap, err := referenceAudit(workers, seed, bins, algo, prune)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +100,7 @@ func build(in io.Reader, workers int, seed uint64, bins int, algo string) (*arti
 
 // referenceAudit runs one fully instrumented audit and returns its
 // headline result plus the complete telemetry snapshot.
-func referenceAudit(workers int, seed uint64, bins int, algo string) (auditInfo, telemetry.Snapshot, error) {
+func referenceAudit(workers int, seed uint64, bins int, algo string, prune bool) (auditInfo, telemetry.Snapshot, error) {
 	fail := func(err error) (auditInfo, telemetry.Snapshot, error) {
 		return auditInfo{}, telemetry.Snapshot{}, fmt.Errorf("reference audit: %w", err)
 	}
@@ -114,7 +116,7 @@ func referenceAudit(workers int, seed uint64, bins int, algo string) (auditInfo,
 		return fail(err)
 	}
 	reg := telemetry.NewRegistry()
-	e, err := core.NewEvaluator(ds, f, core.Config{Bins: bins, Metrics: reg})
+	e, err := core.NewEvaluator(ds, f, core.Config{Bins: bins, Metrics: reg, Prune: prune})
 	if err != nil {
 		return fail(err)
 	}
@@ -127,6 +129,7 @@ func referenceAudit(workers int, seed uint64, bins int, algo string) (auditInfo,
 		Seed:       seed,
 		Algorithm:  res.Algorithm,
 		Bins:       bins,
+		Prune:      prune,
 		Unfairness: res.Unfairness,
 		ElapsedNS:  int64(res.Elapsed),
 	}, reg.Snapshot(), nil

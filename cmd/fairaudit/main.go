@@ -45,6 +45,7 @@ func main() {
 		weights  = flag.String("weights", "", "explicit weights, e.g. \"LanguageTest=0.7,ApprovalRate=0.3\" (overrides -alpha)")
 		bins     = flag.Int("bins", 10, "histogram bins")
 		metric   = flag.String("metric", "emd", "distance metric: emd|l1|tv|chi2|js|ks|hellinger")
+		prune    = flag.Bool("prune", false, "enable the branch-and-bound pruning cascade (bit-identical results, see DESIGN.md §9)")
 		attrs    = flag.String("attrs", "", "comma-separated protected attributes to audit (default: all)")
 		figure   = flag.Bool("figure", false, "render per-partition score histograms")
 		tree     = flag.Bool("tree", false, "render the splitting-decision trace")
@@ -58,13 +59,13 @@ func main() {
 		telJSON  = flag.String("telemetry-json", "", "write engine metrics and the audit's span tree as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout, *telJSON); err != nil {
+	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *prune, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout, *telJSON); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha float64,
-	weightSpec string, bins int, metricName, attrSpec string, figure, tree bool, sigRounds int, explainAttrs bool,
+	weightSpec string, bins int, metricName string, prune bool, attrSpec string, figure, tree bool, sigRounds int, explainAttrs bool,
 	protCols, obsCols, idCol string, describe bool, timeout time.Duration, telJSON string) error {
 
 	ds, err := loadDataset(dataFile, gen, seed, protCols, obsCols, idCol)
@@ -85,7 +86,7 @@ func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha 
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Bins: bins, Metric: metric}
+	cfg := core.Config{Bins: bins, Metric: metric, Prune: prune}
 	var (
 		reg    *telemetry.Registry
 		tracer *telemetry.Tracer

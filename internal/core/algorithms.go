@@ -60,10 +60,16 @@ func worstAttribute(s *matState, attrs []int) (int, *matState) {
 }
 
 // randomAttribute is the baseline choice used by r-balanced and
-// r-unbalanced: a uniformly random remaining attribute.
+// r-unbalanced: a uniformly random remaining attribute. A single random
+// candidate offers nothing to prune, but under Config.Prune the probe
+// routes through the lean allocation-free fill (probeLean) so the random
+// baselines share the pruned runs' constant factors.
 func randomAttribute(r *rng.RNG) chooser {
 	return func(s *matState, attrs []int) (int, *matState) {
 		a := attrs[r.Intn(len(attrs))]
+		if s.e.prune {
+			return a, s.probeLean(a, s.e.cfg.Parallelism)
+		}
 		return a, s.probe(a, s.e.cfg.Parallelism, true)
 	}
 }
@@ -87,7 +93,7 @@ func remove(attrs []int, a int) []int {
 // uncancellable direct entry points; session consumers go through Run,
 // which adds context cancellation, progress callbacks and per-run stats.
 func Balanced(e *Evaluator, attrs []int) *Result {
-	res, _ := balancedWith(context.Background(), e, attrs, worstAttribute, "balanced", nil)
+	res, _ := balancedWith(context.Background(), e, attrs, e.worstChooser(), "balanced", nil)
 	return res
 }
 
@@ -153,7 +159,7 @@ func balancedWith(ctx context.Context, e *Evaluator, attrs []int, choose chooser
 // pairwise distance against its siblings. attrs nil means all protected
 // attributes.
 func Unbalanced(e *Evaluator, attrs []int) *Result {
-	res, _ := unbalancedWith(context.Background(), e, attrs, worstAttribute, "unbalanced", nil)
+	res, _ := unbalancedWith(context.Background(), e, attrs, e.worstChooser(), "unbalanced", nil)
 	return res
 }
 
@@ -235,7 +241,7 @@ func unbalancedWith(ctx context.Context, e *Evaluator, attrs []int, choose choos
 	}
 
 	res.Partitioning = &partition.Partitioning{Parts: output}
-	res.Unfairness = e.AvgPairwise(output)
+	res.Unfairness = e.avgPairwiseAuto(output)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -303,7 +309,10 @@ func exhaustiveCellsCtx(ctx context.Context, e *Evaluator, attrs []int, budget i
 		if ctx.Err() != nil {
 			return false
 		}
-		u := e.unfairnessCtx(ctx, pt)
+		u, skipped := e.unfairnessBounded(ctx, pt, res.Unfairness)
+		if skipped {
+			return true
+		}
 		if ctx.Err() != nil {
 			return false
 		}
@@ -349,7 +358,10 @@ func exhaustiveCtx(ctx context.Context, e *Evaluator, attrs []int, budget int) (
 		if ctx.Err() != nil {
 			return false
 		}
-		u := e.unfairnessCtx(ctx, pt)
+		u, skipped := e.unfairnessBounded(ctx, pt, res.Unfairness)
+		if skipped {
+			return true
+		}
 		if ctx.Err() != nil {
 			return false
 		}

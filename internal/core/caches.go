@@ -16,6 +16,11 @@ const cacheShards = 64
 type rep struct {
 	id   uint32
 	data []float64
+	// qcdf is the fixed-point quantized CDF of data, filled at intern time
+	// when the evaluator's pruning cascade is active (binned EMD mode) so
+	// the bound kernels never touch float payloads. Nil when pruning is
+	// off; immutable once published like the rest of the rep.
+	qcdf []int64
 }
 
 // repCache interns partition representations behind dense handles. Two
@@ -31,7 +36,12 @@ type rep struct {
 // serialize on a single mutex (the old evaluator's single map+mutex made
 // the parallel path bypass the cache entirely).
 type repCache struct {
-	next    atomic.Uint32 // dense handles handed out so far
+	next atomic.Uint32 // dense handles handed out so far
+	// quant, when non-nil, derives a rep's fixed-point quantized CDF from
+	// its payload at intern time. It is set once, before any intern, by
+	// evaluators whose pruning cascade is enabled; reps published while it
+	// is set carry a non-nil qcdf.
+	quant   func([]float64) []int64
 	byKey   [cacheShards]repKeyShard
 	byChild [cacheShards]repChildShard
 }
@@ -81,12 +91,16 @@ func (c *repCache) internKey(key string, build func() []float64) *rep {
 		return r
 	}
 	data := build()
+	var q []int64
+	if c.quant != nil {
+		q = c.quant(data)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.m[key]; ok {
 		return r
 	}
-	r = &rep{id: c.next.Add(1) - 1, data: data}
+	r = &rep{id: c.next.Add(1) - 1, data: data, qcdf: q}
 	s.m[key] = r
 	return r
 }
@@ -110,13 +124,17 @@ func (c *repCache) lookupChild(key uint64) (*rep, bool) {
 // internChild publishes a scatter-split child rep, keeping the first
 // writer's rep on a race so handles stay stable.
 func (c *repCache) internChild(key uint64, data []float64) *rep {
+	var q []int64
+	if c.quant != nil {
+		q = c.quant(data)
+	}
 	s := &c.byChild[mix(key)&(cacheShards-1)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.m[key]; ok {
 		return r
 	}
-	r := &rep{id: c.next.Add(1) - 1, data: data}
+	r := &rep{id: c.next.Add(1) - 1, data: data, qcdf: q}
 	s.m[key] = r
 	return r
 }

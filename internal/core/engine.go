@@ -245,7 +245,7 @@ func (s *matState) probe(attr, workers int, withDist bool) *matState {
 		e.pairs.misses.Add(int64(len(missing)))
 		e.tel.computed(int64(len(missing)))
 	}
-	e.tel.pairsCopied.Add(int64(len(nd) - len(missing)))
+	e.copiedAcct(int64(len(nd) - len(missing)))
 	ns.dist = nd
 	_, rsp := telemetry.StartSpan(pctx, "reduce")
 	ns.avg = avgOf(nd)
@@ -389,7 +389,7 @@ func (s *matState) replaceFirst(children *matState) *matState {
 		e.pairs.misses.Add(int64(fresh))
 		e.tel.computed(int64(fresh))
 	}
-	e.tel.pairsCopied.Add(int64(len(nd) - fresh))
+	e.copiedAcct(int64(len(nd) - fresh))
 	ns.dist = nd
 	ns.avg = avgOf(nd)
 	return ns

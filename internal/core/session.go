@@ -78,6 +78,18 @@ type RunStats struct {
 	// CacheHits is how many pairwise distances this run served from the
 	// shared pair cache instead of recomputing.
 	CacheHits int
+	// PairsCopied is how many triangle entries the incremental delta
+	// paths copied from an existing state instead of recomputing or
+	// re-fetching.
+	PairsCopied int
+	// PairsPruned is how many pair slots the branch-and-bound cascade
+	// (Config.Prune) skipped outright — slots that were neither computed,
+	// copied, nor served from the cache. Always 0 with pruning off. For
+	// any fixed Spec, PairsComputed + CacheHits + PairsCopied +
+	// PairsPruned is invariant across pruning on/off: pruning moves slots
+	// between buckets, never changes the total (the conservation law the
+	// accounting tests pin).
+	PairsPruned int
 	// Rounds is the number of splitting decisions traced (len(Steps)).
 	Rounds int
 }
@@ -160,6 +172,8 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	reps0, _, miss0 := e.CacheStats()
 	hits0 := int(e.pairs.hits.Load())
+	copied0 := e.copied.Load()
+	pruned0 := e.pruned.Load()
 	// The root "run" span parents every scan/probe/split/emd/reduce span
 	// the engine opens below; gauges are synced once per run, off the hot
 	// path. Both no-op when no tracer/registry is attached.
@@ -177,6 +191,8 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		RepsInterned:  reps1 - reps0,
 		PairsComputed: miss1 - miss0,
 		CacheHits:     int(e.pairs.hits.Load()) - hits0,
+		PairsCopied:   int(e.copied.Load() - copied0),
+		PairsPruned:   int(e.pruned.Load() - pruned0),
 		Rounds:        len(res.Steps),
 	}
 	return res, nil
@@ -184,13 +200,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 
 func init() {
 	Register("balanced", func(ctx context.Context, e *Evaluator, spec Spec) (*Result, error) {
-		return balancedWith(ctx, e, spec.Attrs, worstAttribute, "balanced", spec.Progress)
+		return balancedWith(ctx, e, spec.Attrs, e.worstChooser(), "balanced", spec.Progress)
 	})
 	Register("r-balanced", func(ctx context.Context, e *Evaluator, spec Spec) (*Result, error) {
 		return balancedWith(ctx, e, spec.Attrs, randomAttribute(rng.New(spec.Seed+1)), "r-balanced", spec.Progress)
 	})
 	Register("unbalanced", func(ctx context.Context, e *Evaluator, spec Spec) (*Result, error) {
-		return unbalancedWith(ctx, e, spec.Attrs, worstAttribute, "unbalanced", spec.Progress)
+		return unbalancedWith(ctx, e, spec.Attrs, e.worstChooser(), "unbalanced", spec.Progress)
 	})
 	Register("r-unbalanced", func(ctx context.Context, e *Evaluator, spec Spec) (*Result, error) {
 		return unbalancedWith(ctx, e, spec.Attrs, randomAttribute(rng.New(spec.Seed+2)), "r-unbalanced", spec.Progress)

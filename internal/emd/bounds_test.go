@@ -1,0 +1,208 @@
+package emd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fairrank/internal/testkit"
+)
+
+// The bound contract is containment with NO tolerance: the guard slack is
+// baked into each bound, so lo ≤ exact ≤ hi must hold as plain float
+// comparisons. Every property test here asserts exactly that, against both
+// the closed form and the independent flow oracle.
+
+func TestBoundsContainExactProperty(t *testing.T) {
+	var o testkit.Oracle
+	for seed := uint64(0); seed < 300; seed++ {
+		g := testkit.NewGen(seed)
+		bins := g.R.IntRange(1, 40)
+		unit := g.R.Float64() + 0.01
+		p, q := g.PMF(bins), g.PMF(bins)
+		exact := PMFDistance(p, q, unit)
+		flow := o.EMDFlow(p, q, unit)
+
+		lo, hi, err := Bounds(p, q, unit)
+		if err != nil {
+			t.Fatalf("seed %d: Bounds: %v", seed, err)
+		}
+		if lo > exact || exact > hi {
+			t.Fatalf("seed %d: exact %v outside [%v, %v] (bins=%d unit=%v)", seed, exact, lo, hi, bins, unit)
+		}
+		if lo > flow || flow > hi {
+			t.Fatalf("seed %d: flow oracle %v outside [%v, %v]", seed, flow, lo, hi)
+		}
+
+		ks, err := KSLowerBound(p, q, unit)
+		if err != nil {
+			t.Fatalf("seed %d: KSLowerBound: %v", seed, err)
+		}
+		if ks > exact {
+			t.Fatalf("seed %d: KS lower bound %v exceeds exact %v", seed, ks, exact)
+		}
+		mean, err := MeanLowerBound(p, q, unit)
+		if err != nil {
+			t.Fatalf("seed %d: MeanLowerBound: %v", seed, err)
+		}
+		if mean > exact {
+			t.Fatalf("seed %d: mean lower bound %v exceeds exact %v", seed, mean, exact)
+		}
+		up, err := L1UpperBound(p, q, unit)
+		if err != nil {
+			t.Fatalf("seed %d: L1UpperBound: %v", seed, err)
+		}
+		if up < exact {
+			t.Fatalf("seed %d: L1 upper bound %v below exact %v", seed, up, exact)
+		}
+	}
+}
+
+func TestBoundsIdenticalPMFs(t *testing.T) {
+	g := testkit.NewGen(7)
+	p := g.PMF(16)
+	lo, hi, err := Bounds(p, p, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Fatalf("identical PMFs: lower bound %v, want 0", lo)
+	}
+	if hi < 0 {
+		t.Fatalf("identical PMFs: negative upper bound %v", hi)
+	}
+}
+
+func TestThresholdedBoundsContainExact(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		g := testkit.NewGen(seed)
+		bins := g.R.IntRange(2, 16)
+		unit := g.R.Float64() + 0.01
+		p, q := g.PMF(bins), g.PMF(bins)
+		exact := PMFDistance(p, q, unit)
+		for _, t0 := range []float64{unit / 2, unit, 2 * unit, float64(bins-1) * unit} {
+			lo, hi, err := ThresholdedBounds(p, q, unit, t0)
+			if err != nil {
+				t.Fatalf("seed %d t=%v: %v", seed, t0, err)
+			}
+			if lo > exact || exact > hi {
+				t.Fatalf("seed %d t=%v: exact %v outside [%v, %v]", seed, t0, exact, lo, hi)
+			}
+		}
+	}
+}
+
+func TestThresholdedBoundsTightenWithThreshold(t *testing.T) {
+	// At t ≥ (n−1)·unit the thresholded cost degenerates to the exact EMD,
+	// so the interval collapses to the solver's quantization guard.
+	g := testkit.NewGen(11)
+	bins, unit := 12, 0.25
+	p, q := g.PMF(bins), g.PMF(bins)
+	exact := PMFDistance(p, q, unit)
+	lo, hi, err := ThresholdedBounds(p, q, unit, float64(bins)*unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi-lo > 1e-6 {
+		t.Fatalf("degenerate threshold interval [%v, %v] too wide", lo, hi)
+	}
+	if lo > exact || exact > hi {
+		t.Fatalf("exact %v outside [%v, %v]", exact, lo, hi)
+	}
+}
+
+func TestPivotBoundsContainExact(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		g := testkit.NewGen(1000 + seed)
+		bins := g.R.IntRange(1, 24)
+		unit := g.R.Float64() + 0.01
+		p, q, pivot := g.PMF(bins), g.PMF(bins), g.PMF(bins)
+		rp := PMFDistance(p, pivot, unit)
+		rq := PMFDistance(q, pivot, unit)
+		exact := PMFDistance(p, q, unit)
+		lo, hi := PivotBounds(rp, rq, boundSlack(bins, unit))
+		if lo > exact || exact > hi {
+			t.Fatalf("seed %d: exact %v outside pivot interval [%v, %v]", seed, exact, lo, hi)
+		}
+	}
+}
+
+// Irregular-length PMFs follow PMFDistance's min-length convention: the
+// lower bounds compare the common prefix, so containment must still hold;
+// the L1 cap additionally requires equal mass over that prefix.
+func TestBoundsIrregularLengths(t *testing.T) {
+	g := testkit.NewGen(23)
+	p := g.PMF(5)
+	q := make([]float64, 9) // mass confined to the compared prefix
+	copy(q, g.PMF(5))
+	exact := PMFDistance(p, q, 0.2)
+	lo, hi, err := Bounds(p, q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > exact || exact > hi {
+		t.Fatalf("irregular lengths: exact %v outside [%v, %v]", exact, lo, hi)
+	}
+
+	// Mass beyond the compared prefix is invisible to the min-length
+	// convention, so the cap still holds.
+	q[8] = 0.5
+	if up, err := L1UpperBound(p, q, 0.2); err != nil || up < exact {
+		t.Fatalf("trailing mass: up=%v err=%v, want ≥ %v", up, err, exact)
+	}
+
+	// Unequal mass *within* the compared prefix breaks the (n−1)/2 factor:
+	// the cap must refuse rather than under-bound.
+	for i := range p {
+		q[i] /= 2
+	}
+	if _, err := L1UpperBound(p, q, 0.2); err == nil {
+		t.Fatal("L1UpperBound accepted unequal prefix mass")
+	}
+}
+
+func TestBoundsRejectNonFinite(t *testing.T) {
+	good := []float64{0.5, 0.5}
+	for _, bad := range [][]float64{
+		{math.NaN(), 0.5},
+		{math.Inf(1), 0},
+		{0.5, math.Inf(-1)},
+	} {
+		for name, err := range map[string]error{
+			"KSLowerBound":   func() error { _, e := KSLowerBound(bad, good, 1); return e }(),
+			"MeanLowerBound": func() error { _, e := MeanLowerBound(good, bad, 1); return e }(),
+			"L1UpperBound":   func() error { _, e := L1UpperBound(bad, good, 1); return e }(),
+			"Bounds":         func() error { _, _, e := Bounds(good, bad, 1); return e }(),
+			"Thresholded":    func() error { _, _, e := ThresholdedBounds(bad, good, 1, 0.5); return e }(),
+		} {
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("%s(%v): err = %v, want ErrNonFinite", name, bad, err)
+			}
+		}
+	}
+}
+
+func TestThresholdedBoundsRejectsBadThreshold(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	for _, bad := range []float64{0, -1, math.NaN()} {
+		if _, _, err := ThresholdedBounds(p, p, 1, bad); err == nil {
+			t.Fatalf("threshold %v accepted", bad)
+		}
+	}
+}
+
+func TestL1UpperBoundMassMismatch(t *testing.T) {
+	if _, err := L1UpperBound([]float64{1, 0}, []float64{0.25, 0.25}, 1); err == nil {
+		t.Fatal("unequal total mass accepted")
+	}
+}
+
+func TestBoundsEmpty(t *testing.T) {
+	lo, hi, err := Bounds(nil, nil, 1)
+	if err != nil || lo != 0 || hi != 0 {
+		t.Fatalf("empty PMFs: lo=%v hi=%v err=%v, want 0 0 nil", lo, hi, err)
+	}
+	if lo, hi, err := ThresholdedBounds(nil, nil, 1, 0.5); err != nil || lo != 0 || hi != 0 {
+		t.Fatalf("empty thresholded: lo=%v hi=%v err=%v", lo, hi, err)
+	}
+}

@@ -1,0 +1,167 @@
+package emd
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/testkit"
+)
+
+func TestFixedCDFRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		g := testkit.NewGen(seed)
+		bins := g.R.IntRange(1, 48)
+		p := g.PMF(bins)
+		q, ok := FixedCDF(p, FixedScale)
+		if !ok {
+			t.Fatalf("seed %d: FixedCDF rejected a finite PMF", seed)
+		}
+		deq := DequantizeCDF(q, FixedScale)
+		cum := 0.0
+		eps := 0.5/float64(FixedScale) + 1e-12
+		for i, v := range p {
+			cum += v
+			if math.Abs(deq[i]-cum) > eps {
+				t.Fatalf("seed %d bin %d: round-trip %v vs CDF %v exceeds ε=%v", seed, i, deq[i], cum, eps)
+			}
+		}
+	}
+}
+
+func TestFixedCDFRejects(t *testing.T) {
+	if _, ok := FixedCDF([]float64{math.NaN()}, FixedScale); ok {
+		t.Fatal("NaN accepted")
+	}
+	if _, ok := FixedCDF([]float64{math.Inf(1)}, FixedScale); ok {
+		t.Fatal("+Inf accepted")
+	}
+	if _, ok := FixedCDF([]float64{0.5, 0.5}, 0); ok {
+		t.Fatal("scale 0 accepted")
+	}
+}
+
+func TestFixedCDFDegenerate(t *testing.T) {
+	// Degenerate histogram shapes must quantize without panicking.
+	if q, ok := FixedCDF(nil, FixedScale); !ok || len(q) != 0 {
+		t.Fatalf("empty PMF: q=%v ok=%v", q, ok)
+	}
+	if q, ok := FixedCDF([]float64{0, 0, 0}, FixedScale); !ok || q[2] != 0 {
+		t.Fatalf("zero-mass PMF: q=%v ok=%v", q, ok)
+	}
+	if q, ok := FixedCDF([]float64{1}, FixedScale); !ok || q[0] != FixedScale {
+		t.Fatalf("point mass: q=%v ok=%v", q, ok)
+	}
+}
+
+func TestFixedDistanceWithinEpsilon(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		g := testkit.NewGen(500 + seed)
+		bins := g.R.IntRange(1, 40)
+		unit := g.R.Float64() + 0.01
+		p, q := g.PMF(bins), g.PMF(bins)
+		qp, ok1 := FixedCDF(p, FixedScale)
+		qq, ok2 := FixedCDF(q, FixedScale)
+		if !ok1 || !ok2 {
+			t.Fatalf("seed %d: quantization rejected finite PMFs", seed)
+		}
+		got := FixedDistance(qp, qq, unit, FixedScale)
+		want := PMFDistance(p, q, unit)
+		if eps := FixedEpsilon(bins, unit, FixedScale); math.Abs(got-want) > eps {
+			t.Fatalf("seed %d: fixed %v vs exact %v exceeds ε=%v", seed, got, want, eps)
+		}
+	}
+}
+
+func TestFixedPairwiseSumMatchesNaive(t *testing.T) {
+	var scratch []int64
+	for seed := uint64(0); seed < 60; seed++ {
+		g := testkit.NewGen(2000 + seed)
+		k := g.R.IntRange(2, 12)
+		bins := g.R.IntRange(1, 16)
+		rows := make([][]int64, k)
+		for i := range rows {
+			rows[i], _ = FixedCDF(g.PMF(bins), FixedScale)
+		}
+		var naive int64
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				for b := 0; b < bins; b++ {
+					d := rows[i][b] - rows[j][b]
+					if d < 0 {
+						d = -d
+					}
+					naive += d
+				}
+			}
+		}
+		var got float64
+		got, scratch = FixedPairwiseSum(rows, scratch)
+		if got != float64(naive) {
+			t.Fatalf("seed %d: kernel %v vs naive %d", seed, got, naive)
+		}
+	}
+}
+
+func TestFixedPairwiseSumDegenerate(t *testing.T) {
+	if s, _ := FixedPairwiseSum(nil, nil); s != 0 {
+		t.Fatalf("no rows: %v", s)
+	}
+	if s, _ := FixedPairwiseSum([][]int64{{1, 2}}, nil); s != 0 {
+		t.Fatalf("single row: %v", s)
+	}
+	// Ragged rows truncate to the shortest, mirroring the min-length pair
+	// convention.
+	rows := [][]int64{{10, 20, 30}, {0, 5}}
+	s, _ := FixedPairwiseSum(rows, nil)
+	if s != 25 {
+		t.Fatalf("ragged rows: %v, want 25", s)
+	}
+}
+
+func TestFixedPairwiseSumScratchReuse(t *testing.T) {
+	rows := [][]int64{{1, 2}, {3, 4}, {5, 6}}
+	_, scratch := FixedPairwiseSum(rows, nil)
+	_, scratch2 := FixedPairwiseSum(rows, scratch)
+	if &scratch[0] != &scratch2[0] {
+		t.Fatal("scratch was reallocated despite sufficient capacity")
+	}
+}
+
+func TestFixedAvgIntervalContainsExact(t *testing.T) {
+	var scratch []int64
+	for seed := uint64(0); seed < 80; seed++ {
+		g := testkit.NewGen(3000 + seed)
+		k := g.R.IntRange(2, 20)
+		bins := g.R.IntRange(1, 32)
+		unit := g.R.Float64() + 0.01
+		pmfs := make([][]float64, k)
+		rows := make([][]int64, k)
+		for i := range pmfs {
+			pmfs[i] = g.PMF(bins)
+			rows[i], _ = FixedCDF(pmfs[i], FixedScale)
+		}
+		// The engine's exact average: serial (i, j)-order float sum.
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				sum += PMFDistance(pmfs[i], pmfs[j], unit)
+			}
+		}
+		exact := sum / float64(k*(k-1)/2)
+		var lo, hi float64
+		lo, hi, scratch = FixedAvgInterval(rows, unit, FixedScale, scratch)
+		if lo > exact || exact > hi {
+			t.Fatalf("seed %d: exact avg %v outside [%v, %v] (k=%d bins=%d)", seed, exact, lo, hi, k, bins)
+		}
+	}
+}
+
+func TestFixedAvgIntervalDegenerate(t *testing.T) {
+	if lo, hi, _ := FixedAvgInterval(nil, 1, FixedScale, nil); lo != 0 || hi != 0 {
+		t.Fatalf("no rows: [%v, %v]", lo, hi)
+	}
+	row, _ := FixedCDF([]float64{1}, FixedScale)
+	if lo, hi, _ := FixedAvgInterval([][]int64{row}, 1, FixedScale, nil); lo != 0 || hi != 0 {
+		t.Fatalf("single row: [%v, %v]", lo, hi)
+	}
+}
