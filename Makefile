@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 7
 
-.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune telemetry-overhead verify fuzz-smoke cover
+.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot telemetry-overhead verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,23 @@ bench-prune:
 	$(GO) run ./cmd/benchdiff -baseline 'BenchmarkTable2/' -candidate 'prune=off' -max-overhead 10 < /tmp/prune-ctrl.txt
 	$(GO) run ./cmd/benchjson -prune -algo balanced -workers 7300 -out BENCH_6.json < /tmp/prune-bench.txt
 
+# bench-snapshot is the CI gate for the mmap snapshot engine (DESIGN.md
+# §10) and emits BENCH_7.json. Each of the BENCHCOUNT rounds emits every
+# workload over both backings as adjacent src=mem / src=mmap lines — a
+# million-worker raw column scan plus the Table 2 audit cells — and one
+# benchdiff gate holds the memory-mapped view to within 10% of the
+# heap-resident dataset across all of them (per-round pairing rationale
+# as in telemetry-overhead below). Zero-copy means there is no
+# per-element decode to pay for; anything past noise is a regression.
+bench-snapshot:
+	@rm -f /tmp/snapshot-bench.txt
+	@for i in $$(seq $(BENCHCOUNT)); do \
+		$(GO) test -run '^$$' -bench 'BenchmarkSnapshot(Scan|Table2)$$' -benchtime 1x -count 1 -timeout 30m . >> /tmp/snapshot-bench.txt || exit 1; \
+	done
+	@grep ns/op /tmp/snapshot-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'src=mem' -candidate 'src=mmap' -max-overhead 10 < /tmp/snapshot-bench.txt
+	$(GO) run ./cmd/benchjson -algo balanced -workers 7300 -out BENCH_7.json < /tmp/snapshot-bench.txt
+
 # telemetry-overhead is the CI gate for the observability layer: the
 # always-on metrics path (what fairserve enables per request) must stay
 # within 5% of the uninstrumented baseline, and the opt-in span-tracing
@@ -107,6 +124,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzPrometheus$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzJobSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/jobs/
 

@@ -10,6 +10,10 @@
 // Audit a CSV in the paper's schema with explicit weights and a figure:
 //
 //	fairaudit -data workers.csv -weights LanguageTest=1 -algo unbalanced -figure
+//
+// Audit a columnar snapshot memory-mapped, without loading it into RAM:
+//
+//	fairaudit -snapshot workers.snap -algo balanced
 package main
 
 import (
@@ -37,7 +41,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fairaudit: ")
 	var (
-		dataFile = flag.String("data", "", "CSV dataset in the paper's schema (mutually exclusive with -gen)")
+		dataFile = flag.String("data", "", "CSV dataset in the paper's schema (mutually exclusive with -gen and -snapshot)")
+		snapFile = flag.String("snapshot", "", "columnar snapshot file (genworkers -format snapshot); audited via mmap, zero-copy")
 		gen      = flag.Int("gen", 0, "generate this many synthetic workers instead of loading -data")
 		seed     = flag.Uint64("seed", 42, "seed for generation and random baselines")
 		algo     = flag.String("algo", "balanced", "algorithm: "+strings.Join(core.Algorithms(), "|"))
@@ -59,19 +64,21 @@ func main() {
 		telJSON  = flag.String("telemetry-json", "", "write engine metrics and the audit's span tree as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dataFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *prune, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout, *telJSON); err != nil {
+	if err := run(os.Stdout, *dataFile, *snapFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *prune, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout, *telJSON); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha float64,
+func run(w io.Writer, dataFile, snapFile string, gen int, seed uint64, algo string, alpha float64,
 	weightSpec string, bins int, metricName string, prune bool, attrSpec string, figure, tree bool, sigRounds int, explainAttrs bool,
 	protCols, obsCols, idCol string, describe bool, timeout time.Duration, telJSON string) error {
 
-	ds, err := loadDataset(dataFile, gen, seed, protCols, obsCols, idCol)
+	ds, err := loadDataset(dataFile, snapFile, gen, seed, protCols, obsCols, idCol)
 	if err != nil {
 		return err
 	}
+	// No-op for generated/CSV data; unmaps a -snapshot view.
+	defer ds.Close()
 	if describe {
 		if err := dataset.WriteProfile(w, ds); err != nil {
 			return err
@@ -167,10 +174,20 @@ func run(w io.Writer, dataFile string, gen int, seed uint64, algo string, alpha 
 	return nil
 }
 
-func loadDataset(dataFile string, gen int, seed uint64, protCols, obsCols, idCol string) (*dataset.Dataset, error) {
+func loadDataset(dataFile, snapFile string, gen int, seed uint64, protCols, obsCols, idCol string) (*dataset.Dataset, error) {
+	sources := 0
+	for _, set := range []bool{dataFile != "", snapFile != "", gen > 0} {
+		if set {
+			sources++
+		}
+	}
 	switch {
-	case dataFile != "" && gen > 0:
-		return nil, fmt.Errorf("-data and -gen are mutually exclusive")
+	case sources > 1:
+		return nil, fmt.Errorf("-data, -snapshot and -gen are mutually exclusive")
+	case snapFile != "":
+		// The columns stay on disk; the audit reads them through the
+		// mapping, so RAM cost is independent of population size.
+		return dataset.OpenSnapshot(snapFile)
 	case dataFile != "":
 		f, err := os.Open(dataFile)
 		if err != nil {

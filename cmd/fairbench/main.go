@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"fairrank/internal/core"
+	"fairrank/internal/dataset"
 	"fairrank/internal/partition"
 	"fairrank/internal/report"
 	"fairrank/internal/scoring"
@@ -64,6 +65,7 @@ func main() {
 	var (
 		table   = flag.String("table", "", "table to regenerate: 1, 2, 3 or all")
 		workers = flag.Int("workers", 0, "override the population size (0 = paper scale)")
+		snap    = flag.String("snapshot", "", "audit this columnar snapshot (mmap, zero-copy) instead of generating workers")
 		seed    = flag.Uint64("seed", 42, "experiment seed")
 		bins    = flag.Int("bins", 10, "histogram bins")
 		prune   = flag.Bool("prune", false, "enable the branch-and-bound pruning cascade (bit-identical results, see DESIGN.md §9)")
@@ -118,12 +120,20 @@ func main() {
 		tracer = tr
 		bt = &benchTelemetry{ctx: ctx, reg: telemetry.NewRegistry()}
 	}
+	var snapDS *dataset.Dataset
+	if *snap != "" {
+		var err error
+		if snapDS, err = dataset.OpenSnapshot(*snap); err != nil {
+			log.Fatal(err)
+		}
+		defer snapDS.Close()
+	}
 	if *sweep {
 		n := *workers
 		if n == 0 {
 			n = simulate.SmallPopulation
 		}
-		if err := runSweep(os.Stdout, n, *seed, *bins, *points, bt); err != nil {
+		if err := runSweep(os.Stdout, snapDS, n, *seed, *bins, *points, bt); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -138,7 +148,7 @@ func main() {
 		}
 	}
 	if *table != "" {
-		if err := runTables(os.Stdout, *table, *workers, *seed, *bins, *prune, *csvOut, *mdOut, *jsonOut, *par, *nSeeds, bt); err != nil {
+		if err := runTables(os.Stdout, snapDS, *table, *workers, *seed, *bins, *prune, *csvOut, *mdOut, *jsonOut, *par, *nSeeds, bt); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -149,7 +159,7 @@ func main() {
 	}
 }
 
-func runTables(w io.Writer, table string, workers int, seed uint64, bins int, prune bool, csvOut, mdOut, jsonOut string, parallel, nSeeds int, bt *benchTelemetry) error {
+func runTables(w io.Writer, ds *dataset.Dataset, table string, workers int, seed uint64, bins int, prune bool, csvOut, mdOut, jsonOut string, parallel, nSeeds int, bt *benchTelemetry) error {
 	var specs []simulate.Spec
 	add := func(s simulate.Spec, err error) error {
 		if err != nil {
@@ -158,6 +168,7 @@ func runTables(w io.Writer, table string, workers int, seed uint64, bins int, pr
 		if workers > 0 {
 			s.Workers = workers
 		}
+		s.Dataset = ds // nil = generate s.Workers synthetic workers
 		s.Config = core.Config{Bins: bins, Prune: prune, Metrics: bt.registry()}
 		specs = append(specs, s)
 		return nil
@@ -265,13 +276,17 @@ func runTables(w io.Writer, table string, workers int, seed uint64, bins int, pr
 // samples of this curve; the sweep shows its full shape — highest at the
 // single-attribute extremes (α = 0 and 1), lowest for balanced mixes,
 // which is the paper's central Table-1/2 finding as a curve.
-func runSweep(w io.Writer, workers int, seed uint64, bins, points int, bt *benchTelemetry) error {
+func runSweep(w io.Writer, ds *dataset.Dataset, workers int, seed uint64, bins, points int, bt *benchTelemetry) error {
 	if points < 2 {
 		return fmt.Errorf("sweep needs at least 2 points")
 	}
-	ds, err := simulate.PaperWorkers(workers, seed)
-	if err != nil {
-		return err
+	if ds == nil {
+		var err error
+		if ds, err = simulate.PaperWorkers(workers, seed); err != nil {
+			return err
+		}
+	} else {
+		workers = ds.N()
 	}
 	fmt.Fprintf(w, "unfairness vs α (%d workers, balanced algorithm)\n", workers)
 	fmt.Fprintf(w, "%8s  %10s  %s\n", "α", "unfairness", "")

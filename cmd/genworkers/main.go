@@ -1,9 +1,12 @@
 // Command genworkers generates a synthetic worker population over the
-// paper's attribute space and writes it as CSV or JSON.
+// paper's attribute space and writes it as CSV, JSON, or a columnar
+// snapshot (the mmap-ready binary format fairaudit -snapshot and the
+// fairserve upload API consume).
 //
 // Usage:
 //
 //	genworkers -n 7300 -seed 42 -format csv -o workers.csv
+//	genworkers -n 1000000 -seed 42 -format snapshot -o workers.snap
 package main
 
 import (
@@ -22,7 +25,7 @@ func main() {
 	var (
 		n      = flag.Int("n", simulate.SmallPopulation, "number of workers to generate")
 		seed   = flag.Uint64("seed", 42, "generation seed")
-		format = flag.String("format", "csv", "output format: csv or json")
+		format = flag.String("format", "csv", "output format: csv, json or snapshot")
 		out    = flag.String("o", "-", "output file (- for stdout)")
 	)
 	flag.Parse()
@@ -55,7 +58,9 @@ func run(w io.Writer, n int, seed uint64, format string) error {
 		return ds.WriteCSV(w)
 	case "json":
 		return ds.WriteJSON(w)
+	case "snapshot":
+		return ds.WriteSnapshot(w)
 	default:
-		return fmt.Errorf("unknown format %q (want csv or json)", format)
+		return fmt.Errorf("unknown format %q (want csv, json or snapshot)", format)
 	}
 }

@@ -57,7 +57,8 @@ func (d *Dataset) WriteBinary(w io.Writer) error {
 	if err := binary.Write(out, binary.LittleEndian, uint32(d.n)); err != nil {
 		return err
 	}
-	for _, id := range d.ids {
+	for i := 0; i < d.n; i++ {
+		id := d.ID(i)
 		if len(id) > math.MaxUint16 {
 			return fmt.Errorf("dataset: worker id longer than %d bytes", math.MaxUint16)
 		}
@@ -129,7 +130,7 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	if n == 0 || n > 1<<28 {
 		return nil, fmt.Errorf("%w: absurd worker count %d", ErrCorrupt, n)
 	}
-	d := &Dataset{
+	d := &memSource{
 		schema:       schema,
 		n:            int(n),
 		ids:          make([]string, n),
@@ -178,5 +179,5 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	if got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, got, want)
 	}
-	return d, nil
+	return FromSource(d)
 }

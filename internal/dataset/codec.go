@@ -27,7 +27,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	}
 	row := make([]string, len(header))
 	for i := 0; i < d.n; i++ {
-		row[0] = d.ids[i]
+		row[0] = d.ID(i)
 		col := 1
 		for a, attr := range d.schema.Protected {
 			if attr.Kind == Categorical {
@@ -130,7 +130,7 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	workers := make([]jsonWorker, d.n)
 	for i := 0; i < d.n; i++ {
 		jw := jsonWorker{
-			ID:        d.ids[i],
+			ID:        d.ID(i),
 			Protected: map[string]any{},
 			Observed:  map[string]float64{},
 		}

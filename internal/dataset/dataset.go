@@ -6,15 +6,29 @@ import (
 	"math"
 )
 
+var (
+	errSourceNil = errors.New("dataset: nil source")
+	errNoWorkers = errors.New("dataset: no workers added")
+)
+
 // Dataset is an immutable, columnar store of workers conforming to a
 // Schema. Protected attribute values are stored as small integer codes
 // (category index or numeric bucket index) so partitioning is a pure
 // integer scan; the raw numeric values of protected attributes are kept as
 // well for inspection and export.
+//
+// The columns live in a Source: owned heap slices for datasets built in
+// process (Builder, the CSV/JSON/binary decoders), or zero-copy views over
+// an mmap'd columnar snapshot for datasets opened with OpenSnapshot. The
+// column views are cached here once, so the per-row accessors and the
+// column accessors (CodeColumn, ObservedColumn) cost the same for both
+// backings — the engine scans mapped blocks exactly as it scans heap
+// slices.
 type Dataset struct {
 	schema *Schema
 	n      int
-	ids    []string
+	// src owns the column storage; Close releases it.
+	src Source
 	// codes[a][i] is worker i's partitioning code for protected attribute a.
 	codes [][]uint16
 	// rawProtected[a][i] is worker i's raw numeric value for protected
@@ -24,10 +38,11 @@ type Dataset struct {
 	observed [][]float64
 }
 
-// Builder incrementally assembles a Dataset.
+// Builder incrementally assembles an in-memory Dataset.
 type Builder struct {
-	ds  *Dataset
-	err error
+	schema *Schema
+	src    *memSource
+	err    error
 }
 
 // NewBuilder returns a Builder for the given schema. The schema is
@@ -40,7 +55,8 @@ func NewBuilder(schema *Schema) *Builder {
 		return b
 	}
 	s := schema.Clone()
-	b.ds = &Dataset{
+	b.schema = s
+	b.src = &memSource{
 		schema:       s,
 		codes:        make([][]uint16, len(s.Protected)),
 		rawProtected: make([][]float64, len(s.Protected)),
@@ -57,8 +73,8 @@ func (b *Builder) Add(id string, protected map[string]any, observed map[string]a
 	if b.err != nil {
 		return b
 	}
-	ds := b.ds
-	for a, attr := range ds.schema.Protected {
+	src := b.src
+	for a, attr := range b.schema.Protected {
 		v, ok := protected[attr.Name]
 		if !ok {
 			b.err = fmt.Errorf("dataset: worker %q missing protected attribute %q", id, attr.Name)
@@ -69,10 +85,10 @@ func (b *Builder) Add(id string, protected map[string]any, observed map[string]a
 			b.err = fmt.Errorf("dataset: worker %q: %w", id, err)
 			return b
 		}
-		ds.codes[a] = append(ds.codes[a], code)
-		ds.rawProtected[a] = append(ds.rawProtected[a], raw)
+		src.codes[a] = append(src.codes[a], code)
+		src.rawProtected[a] = append(src.rawProtected[a], raw)
 	}
-	for a, attr := range ds.schema.Observed {
+	for a, attr := range b.schema.Observed {
 		v, ok := observed[attr.Name]
 		if !ok {
 			b.err = fmt.Errorf("dataset: worker %q missing observed attribute %q", id, attr.Name)
@@ -83,10 +99,10 @@ func (b *Builder) Add(id string, protected map[string]any, observed map[string]a
 			b.err = fmt.Errorf("dataset: worker %q attribute %q: %w", id, attr.Name, err)
 			return b
 		}
-		ds.observed[a] = append(ds.observed[a], f)
+		src.observed[a] = append(src.observed[a], f)
 	}
-	ds.ids = append(ds.ids, id)
-	ds.n++
+	src.ids = append(src.ids, id)
+	src.n++
 	return b
 }
 
@@ -138,10 +154,7 @@ func (b *Builder) Build() (*Dataset, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	if b.ds.n == 0 {
-		return nil, errors.New("dataset: no workers added")
-	}
-	return b.ds, nil
+	return FromSource(b.src)
 }
 
 // N returns the number of workers.
@@ -150,23 +163,44 @@ func (d *Dataset) N() int { return d.n }
 // Schema returns the dataset's schema. Callers must not mutate it.
 func (d *Dataset) Schema() *Schema { return d.schema }
 
+// Source returns the dataset's backing source.
+func (d *Dataset) Source() Source { return d.src }
+
+// Close releases the dataset's backing storage. For snapshot-backed
+// datasets this unmaps the snapshot — every column view (including slices
+// previously returned by CodeColumn/ObservedColumn) is invalid afterwards.
+// For in-memory datasets Close is a no-op. Close is idempotent.
+func (d *Dataset) Close() error { return d.src.Close() }
+
 // ID returns worker i's identifier.
-func (d *Dataset) ID(i int) string { return d.ids[i] }
+func (d *Dataset) ID(i int) string { return d.src.ID(i) }
 
 // Code returns worker i's partitioning code for protected attribute a
 // (by index into Schema().Protected).
 func (d *Dataset) Code(a, i int) int { return int(d.codes[a][i]) }
 
+// CodeColumn returns the full partitioning-code column of protected
+// attribute a. The returned slice is a live view of the backing source
+// (mapped bytes for snapshot datasets); callers must not mutate it and
+// must not use it after Close. Scans should prefer one CodeColumn call
+// plus slice indexing over per-row Code calls.
+func (d *Dataset) CodeColumn(a int) []uint16 { return d.codes[a] }
+
 // RawProtected returns worker i's raw numeric value for protected
 // attribute a; NaN for categorical attributes.
 func (d *Dataset) RawProtected(a, i int) float64 { return d.rawProtected[a][i] }
+
+// RawProtectedColumn returns the full raw-value column of protected
+// attribute a, under the same sharing rules as CodeColumn.
+func (d *Dataset) RawProtectedColumn(a int) []float64 { return d.rawProtected[a] }
 
 // Observed returns worker i's value for observed attribute a (by index
 // into Schema().Observed).
 func (d *Dataset) Observed(a, i int) float64 { return d.observed[a][i] }
 
-// ObservedColumn returns the full column of observed attribute a. The
-// returned slice is shared; callers must not mutate it.
+// ObservedColumn returns the full column of observed attribute a, under
+// the same sharing rules as CodeColumn: a live, immutable view of the
+// backing source, valid until Close.
 func (d *Dataset) ObservedColumn(a int) []float64 { return d.observed[a] }
 
 // ProtectedLabel returns the human-readable partitioning value of worker i
@@ -188,6 +222,12 @@ func (d *Dataset) AllIndices() []int {
 // workers of b. The two datasets must have structurally identical schemas
 // (same attributes, kinds, value lists and ranges); this is how cohorts
 // from different sources or time windows are federated for a joint audit.
+//
+// Concat is copy-on-write over the inputs' Sources: it reads their column
+// views and materializes a fully owned in-memory result. The result shares
+// no storage with either input — closing a snapshot-backed input
+// afterwards does not invalidate it, and it stays valid (and owned)
+// regardless of where the inputs' columns lived.
 func Concat(a, b *Dataset) (*Dataset, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("dataset: concat of nil dataset")
@@ -195,23 +235,29 @@ func Concat(a, b *Dataset) (*Dataset, error) {
 	if err := sameSchema(a.schema, b.schema); err != nil {
 		return nil, err
 	}
-	out := &Dataset{
+	n := a.n + b.n
+	src := &memSource{
 		schema:       a.schema.Clone(),
-		n:            a.n + b.n,
-		ids:          make([]string, 0, a.n+b.n),
+		n:            n,
+		ids:          make([]string, 0, n),
 		codes:        make([][]uint16, len(a.codes)),
 		rawProtected: make([][]float64, len(a.rawProtected)),
 		observed:     make([][]float64, len(a.observed)),
 	}
-	out.ids = append(append(out.ids, a.ids...), b.ids...)
+	for i := 0; i < a.n; i++ {
+		src.ids = append(src.ids, a.ID(i))
+	}
+	for i := 0; i < b.n; i++ {
+		src.ids = append(src.ids, b.ID(i))
+	}
 	for i := range a.codes {
-		out.codes[i] = append(append([]uint16{}, a.codes[i]...), b.codes[i]...)
-		out.rawProtected[i] = append(append([]float64{}, a.rawProtected[i]...), b.rawProtected[i]...)
+		src.codes[i] = append(append(make([]uint16, 0, n), a.codes[i]...), b.codes[i]...)
+		src.rawProtected[i] = append(append(make([]float64, 0, n), a.rawProtected[i]...), b.rawProtected[i]...)
 	}
 	for i := range a.observed {
-		out.observed[i] = append(append([]float64{}, a.observed[i]...), b.observed[i]...)
+		src.observed[i] = append(append(make([]float64, 0, n), a.observed[i]...), b.observed[i]...)
 	}
-	return out, nil
+	return FromSource(src)
 }
 
 // sameSchema checks structural equality of two schemas.
@@ -249,11 +295,16 @@ func sameSchema(a, b *Schema) error {
 // Subset returns a new Dataset containing only the workers at the given
 // row indices, in that order. The schema is shared structurally (cloned);
 // duplicate indices are allowed and produce duplicate workers.
+//
+// Like Concat, Subset is copy-on-write over the input's Source: the
+// selected rows are gathered from the column views into fully owned
+// slices, so the result survives a Close of a snapshot-backed input and
+// never aliases mapped memory.
 func (d *Dataset) Subset(indices []int) (*Dataset, error) {
 	if len(indices) == 0 {
 		return nil, errors.New("dataset: empty subset")
 	}
-	out := &Dataset{
+	src := &memSource{
 		schema:       d.schema.Clone(),
 		n:            len(indices),
 		ids:          make([]string, len(indices)),
@@ -262,24 +313,24 @@ func (d *Dataset) Subset(indices []int) (*Dataset, error) {
 		observed:     make([][]float64, len(d.observed)),
 	}
 	for a := range d.codes {
-		out.codes[a] = make([]uint16, len(indices))
-		out.rawProtected[a] = make([]float64, len(indices))
+		src.codes[a] = make([]uint16, len(indices))
+		src.rawProtected[a] = make([]float64, len(indices))
 	}
 	for a := range d.observed {
-		out.observed[a] = make([]float64, len(indices))
+		src.observed[a] = make([]float64, len(indices))
 	}
 	for k, i := range indices {
 		if i < 0 || i >= d.n {
 			return nil, fmt.Errorf("dataset: subset index %d out of range", i)
 		}
-		out.ids[k] = d.ids[i]
+		src.ids[k] = d.ID(i)
 		for a := range d.codes {
-			out.codes[a][k] = d.codes[a][i]
-			out.rawProtected[a][k] = d.rawProtected[a][i]
+			src.codes[a][k] = d.codes[a][i]
+			src.rawProtected[a][k] = d.rawProtected[a][i]
 		}
 		for a := range d.observed {
-			out.observed[a][k] = d.observed[a][i]
+			src.observed[a][k] = d.observed[a][i]
 		}
 	}
-	return out, nil
+	return FromSource(src)
 }

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile reads the whole file into memory on platforms without mmap. The
+// Dataset behaves identically to a mapped one; it just pays the full heap
+// cost up front.
+func mapFile(path string) (data []byte, closer func() error, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty file", ErrCorrupt)
+	}
+	return data, func() error { return nil }, nil
+}

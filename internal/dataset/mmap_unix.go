@@ -1,0 +1,36 @@
+//go:build unix
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file at path read-only and returns the mapping plus a
+// closer that unmaps it. The file descriptor is closed before returning —
+// the mapping keeps the pages alive on its own.
+func mapFile(path string) (data []byte, closer func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("%w: empty file", ErrCorrupt)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("snapshot too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

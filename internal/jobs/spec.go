@@ -17,8 +17,14 @@ import (
 // into a core.Spec at execution time, so a job survives restarts as pure
 // data.
 type Spec struct {
-	// Dataset names the uploaded dataset under audit.
-	Dataset string `json:"dataset"`
+	// Dataset names the uploaded dataset under audit. Exactly one of
+	// Dataset and Snapshot must be set.
+	Dataset string `json:"dataset,omitempty"`
+	// Snapshot names a stored columnar snapshot to audit instead of a
+	// registered dataset. The executor opens a private memory-mapped view
+	// per run and closes it when the job finishes, so arbitrarily large
+	// populations can be audited without a resident dataset entry.
+	Snapshot string `json:"snapshot,omitempty"`
 	// Algorithm is a registered audit algorithm; empty means "balanced".
 	Algorithm string `json:"algorithm,omitempty"`
 	// Weights defines the linear scoring function over observed
@@ -76,8 +82,8 @@ func DecodeSpec(data []byte) (Spec, error) {
 // and attribute names are checked against live server state at submit and
 // execution time, not here.
 func (s Spec) Validate() error {
-	if s.Dataset == "" {
-		return errors.New("jobs: spec needs a dataset")
+	if (s.Dataset == "") == (s.Snapshot == "") {
+		return errors.New("jobs: spec needs exactly one of dataset or snapshot")
 	}
 	if len(s.Weights) == 0 {
 		return errors.New("jobs: spec needs scoring weights")

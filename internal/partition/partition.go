@@ -110,14 +110,18 @@ func Split(ds *dataset.Dataset, p *Partition, attr int) []*Partition {
 func SplitObserve(ds *dataset.Dataset, p *Partition, attr int, observe func(value, row int)) []*Partition {
 	card := ds.Schema().Protected[attr].Cardinality()
 	buckets := make([][]int, card)
+	// One column fetch, then pure slice indexing: the scan reads the
+	// attribute's code block directly (mapped bytes for snapshot-backed
+	// datasets) instead of paying a per-row accessor call.
+	codes := ds.CodeColumn(attr)
 	if observe == nil {
 		for _, i := range p.Indices {
-			c := ds.Code(attr, i)
+			c := int(codes[i])
 			buckets[c] = append(buckets[c], i)
 		}
 	} else {
 		for _, i := range p.Indices {
-			c := ds.Code(attr, i)
+			c := int(codes[i])
 			buckets[c] = append(buckets[c], i)
 			observe(c, i)
 		}

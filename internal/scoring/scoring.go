@@ -49,6 +49,16 @@ func (s ScoreFunc) Score(ds *dataset.Dataset, i int) float64 { return s.Fn(ds, i
 type Linear struct {
 	name    string
 	weights map[string]float64 // by observed attribute name, normalized
+	// terms is the weight table in sorted attribute order — the fixed
+	// summation order both Score and ScoreColumn use, so per-row and
+	// columnar evaluation are bit-identical and deterministic regardless
+	// of map iteration order.
+	terms []linearTerm
+}
+
+type linearTerm struct {
+	attr string
+	w    float64
 }
 
 // NewLinear builds a linear scoring function from attribute-name → weight.
@@ -70,10 +80,13 @@ func NewLinear(name string, weights map[string]float64) (*Linear, error) {
 		return nil, errors.New("scoring: all weights are zero")
 	}
 	norm := make(map[string]float64, len(weights))
+	terms := make([]linearTerm, 0, len(weights))
 	for attr, w := range weights {
 		norm[attr] = w / total
+		terms = append(terms, linearTerm{attr: attr, w: w / total})
 	}
-	return &Linear{name: name, weights: norm}, nil
+	sort.Slice(terms, func(i, j int) bool { return terms[i].attr < terms[j].attr })
+	return &Linear{name: name, weights: norm, terms: terms}, nil
 }
 
 // Name implements Func.
@@ -101,22 +114,53 @@ func (l *Linear) Validate(schema *dataset.Schema) error {
 
 // Score implements Func. Weighted attributes missing from the dataset's
 // schema contribute zero (Validate catches this up front when wanted).
+// Terms accumulate in sorted attribute order — the same order ScoreColumn
+// uses — so both paths round identically.
 func (l *Linear) Score(ds *dataset.Dataset, i int) float64 {
 	s := 0.0
 	schema := ds.Schema()
-	for attr, w := range l.weights {
-		if w == 0 {
+	for _, t := range l.terms {
+		if t.w == 0 {
 			continue
 		}
-		a := schema.ObservedIndex(attr)
+		a := schema.ObservedIndex(t.attr)
 		if a < 0 {
 			continue
 		}
 		def := schema.Observed[a]
 		v := ds.Observed(a, i)
-		s += w * normalize(v, def.Min, def.Max)
+		s += t.w * normalize(v, def.Min, def.Max)
 	}
 	return clamp01(s)
+}
+
+// ScoreColumn computes the whole score column in one fused pass per
+// weighted attribute, reading each observed column block directly (for
+// snapshot-backed datasets these are the mapped blocks — no per-row
+// accessor, no copy). Per row it accumulates terms in the same sorted
+// order as Score, so the result is bit-identical to calling Score for
+// every worker.
+func (l *Linear) ScoreColumn(ds *dataset.Dataset) []float64 {
+	out := make([]float64, ds.N())
+	schema := ds.Schema()
+	for _, t := range l.terms {
+		if t.w == 0 {
+			continue
+		}
+		a := schema.ObservedIndex(t.attr)
+		if a < 0 {
+			continue
+		}
+		def := schema.Observed[a]
+		col := ds.ObservedColumn(a)
+		for i, v := range col {
+			out[i] += t.w * normalize(v, def.Min, def.Max)
+		}
+	}
+	for i, v := range out {
+		out[i] = clamp01(v)
+	}
+	return out
 }
 
 // String renders the function as its formula, with attributes sorted for
@@ -151,8 +195,20 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-// Scores evaluates f for every worker and returns the full score column.
+// ColumnScorer is implemented by scoring functions that can materialize
+// the whole score column in fused columnar passes. Implementations must be
+// bit-identical to row-at-a-time Score evaluation; Scores prefers this
+// path when available.
+type ColumnScorer interface {
+	ScoreColumn(ds *dataset.Dataset) []float64
+}
+
+// Scores evaluates f for every worker and returns the full score column,
+// scanning column blocks directly when f supports it.
 func Scores(ds *dataset.Dataset, f Func) []float64 {
+	if cs, ok := f.(ColumnScorer); ok {
+		return cs.ScoreColumn(ds)
+	}
 	out := make([]float64, ds.N())
 	for i := range out {
 		out[i] = f.Score(ds, i)

@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"fairrank/internal/core"
+	"fairrank/internal/dataset"
 	"fairrank/internal/emd"
 	"fairrank/internal/jobs"
 	"fairrank/internal/scoring"
@@ -35,7 +36,8 @@ const (
 // a bit-identical result, so everything here must be a pure function of
 // the spec.
 type jobResult struct {
-	Dataset    string           `json:"dataset"`
+	Dataset    string           `json:"dataset,omitempty"`
+	Snapshot   string           `json:"snapshot,omitempty"`
 	Algorithm  string           `json:"algorithm"`
 	Unfairness float64          `json:"unfairness"`
 	Partitions []auditPartition `json:"partitions"`
@@ -55,25 +57,51 @@ type jobPage struct {
 // execution time (datasets can change between the two — the run uses
 // whatever the name resolves to then, exactly like a synchronous audit
 // issued at that moment).
-func (s *Server) resolveJobSpec(sp jobs.Spec) (core.Spec, error) {
-	s.mu.RLock()
-	ds, ok := s.datasets[sp.Dataset]
-	s.mu.RUnlock()
-	if !ok {
-		return core.Spec{}, fmt.Errorf("dataset %q not found", sp.Dataset)
+//
+// A spec naming a Snapshot gets its own memory-mapped view of the stored
+// snapshot file, independent of the registered-dataset table; the returned
+// release func unmaps it and must be called once the run's results are
+// fully materialized. For Dataset specs release is a no-op — the shared
+// mapping belongs to the registry.
+func (s *Server) resolveJobSpec(sp jobs.Spec) (core.Spec, func(), error) {
+	release := func() {}
+	var ds *dataset.Dataset
+	if sp.Snapshot != "" {
+		path, ok := s.snaps.Path(sp.Snapshot)
+		if !ok {
+			return core.Spec{}, nil, fmt.Errorf("snapshot %q not found", sp.Snapshot)
+		}
+		mapped, err := dataset.OpenSnapshot(path)
+		if err != nil {
+			return core.Spec{}, nil, fmt.Errorf("snapshot %q: %w", sp.Snapshot, err)
+		}
+		ds = mapped
+		release = func() { mapped.Close() }
+	} else {
+		s.mu.RLock()
+		var ok bool
+		ds, ok = s.datasets[sp.Dataset]
+		s.mu.RUnlock()
+		if !ok {
+			return core.Spec{}, nil, fmt.Errorf("dataset %q not found", sp.Dataset)
+		}
+	}
+	fail := func(err error) (core.Spec, func(), error) {
+		release()
+		return core.Spec{}, nil, err
 	}
 	f, err := scoring.NewLinear("job-fn", sp.Weights)
 	if err != nil {
-		return core.Spec{}, err
+		return fail(err)
 	}
 	if err := f.Validate(ds.Schema()); err != nil {
-		return core.Spec{}, err
+		return fail(err)
 	}
 	cfg := core.Config{Bins: sp.Bins, Metrics: s.metrics}
 	if sp.Metric != "" {
 		m, err := emd.ParseMetric(sp.Metric)
 		if err != nil {
-			return core.Spec{}, err
+			return fail(err)
 		}
 		cfg.Metric = m
 	}
@@ -82,7 +110,7 @@ func (s *Server) resolveJobSpec(sp jobs.Spec) (core.Spec, error) {
 		for _, name := range sp.Attributes {
 			i := ds.Schema().ProtectedIndex(name)
 			if i < 0 {
-				return core.Spec{}, fmt.Errorf("%q is not a protected attribute", name)
+				return fail(fmt.Errorf("%q is not a protected attribute", name))
 			}
 			attrs = append(attrs, i)
 		}
@@ -95,16 +123,19 @@ func (s *Server) resolveJobSpec(sp jobs.Spec) (core.Spec, error) {
 		Attrs:     attrs,
 		Seed:      sp.Seed,
 		Budget:    sp.Budget,
-	}, nil
+	}, release, nil
 }
 
 // execJob is the queue's executor: resolve the spec, drive the engine
 // under the job's context, and serialize the deterministic result.
 func (s *Server) execJob(ctx context.Context, j jobs.Job, progress func(core.TraceStep)) ([]byte, error) {
-	spec, err := s.resolveJobSpec(j.Spec)
+	spec, release, err := s.resolveJobSpec(j.Spec)
 	if err != nil {
 		return nil, err
 	}
+	// Labels and sizes below are materialized values, so releasing after
+	// the marshal is safe even for a job-private snapshot mapping.
+	defer release()
 	spec.Progress = progress
 	res, err := core.Run(ctx, spec)
 	if err != nil {
@@ -112,6 +143,7 @@ func (s *Server) execJob(ctx context.Context, j jobs.Job, progress func(core.Tra
 	}
 	out := jobResult{
 		Dataset:    j.Spec.Dataset,
+		Snapshot:   j.Spec.Snapshot,
 		Algorithm:  res.Algorithm,
 		Unfairness: res.Unfairness,
 		Partitions: []auditPartition{},
@@ -143,12 +175,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	// Resolve now so bad submissions fail fast with a 4xx instead of
 	// becoming failed jobs, and to derive the canonical dedup hash.
-	cspec, err := s.resolveJobSpec(spec)
+	cspec, release, err := s.resolveJobSpec(spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	job, created, err := s.jobs.Submit(spec, cspec.Hash())
+	hash := cspec.Hash()
+	release()
+	job, created, err := s.jobs.Submit(spec, hash)
 	var full *jobs.FullError
 	switch {
 	case errors.As(err, &full):

@@ -7,9 +7,15 @@
 //
 //	GET  /healthz                     liveness probe
 //	GET  /v1/datasets                 list datasets
-//	POST /v1/datasets/{name}          upload: text/csv (paper schema) or
-//	                                  application/octet-stream (binary snapshot)
+//	POST /v1/datasets/{name}          upload: text/csv (paper schema),
+//	                                  application/octet-stream (legacy binary) or
+//	                                  application/x-fairrank-snapshot (columnar,
+//	                                  streamed to disk and served mmap'd)
 //	GET  /v1/datasets/{name}          dataset metadata
+//	POST /v1/datasets/{name}/uploads  start a chunked upload session {"size":N}
+//	POST /v1/datasets/{name}/chunks   send one chunk (Upload-Token, Content-Range)
+//	GET  /v1/datasets/{name}/uploads/{token}  session progress (resume point)
+//	DELETE /v1/datasets/{name}/uploads/{token} abort session
 //	POST /v1/tasks                    post a task {id,title,dataset,weights}
 //	GET  /v1/tasks                    list tasks
 //	GET  /v1/rank?task=&k=&q=         ranked (optionally query-filtered) workers
@@ -37,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -83,8 +90,21 @@ type Server struct {
 	// crash/recovery tests to gate or observe runs.
 	jobExecWrap func(jobs.Executor) jobs.Executor
 
+	// snaps owns the columnar snapshot files backing every registered
+	// dataset; the WAL holds only refs (see store.Snapshots).
+	snaps *store.Snapshots
+	// uploadDir holds chunked-upload spill files (see upload.go).
+	uploadDir string
+
 	mu       sync.RWMutex
 	datasets map[string]*dataset.Dataset
+	sessions map[string]*uploadSession
+	// retired holds mmap-backed datasets that were replaced or deleted.
+	// They are closed at Shutdown, not at retire time: audit handlers and
+	// job workers hold *Dataset pointers across long runs without the lock,
+	// and unmapping under them would fault. Address space is the only cost
+	// of keeping a retired mapping until drain.
+	retired  []io.Closer
 	auditSeq int
 }
 
@@ -112,12 +132,16 @@ func WithJobQueueLimit(n int) ServerOption {
 	return func(s *Server) { s.jobOpts.MaxActive = n }
 }
 
-// New builds a Server over an open store, reloading any persisted dataset
-// snapshots into memory.
+// New builds a Server over an open store. Registered datasets live as
+// columnar snapshot files next to the WAL and are reopened memory-mapped,
+// so boot cost and resident memory stay independent of population size.
+// Legacy databases that inlined dataset bytes as WAL values are migrated
+// to snapshot files on first boot.
 func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 	s := &Server{
 		db:         db,
 		datasets:   map[string]*dataset.Dataset{},
+		sessions:   map[string]*uploadSession{},
 		auditLimit: 4,
 		metrics:    telemetry.NewRegistry(),
 	}
@@ -127,6 +151,17 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 	// Engine series appear on /metrics from boot, not after the first
 	// audit request creates an evaluator.
 	core.PreregisterMetrics(s.metrics)
+	snaps, err := store.NewSnapshots(db, db.Path()+".snapshots")
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot store: %w", err)
+	}
+	s.snaps = snaps
+	s.uploadDir = db.Path() + ".uploads"
+	if err := os.MkdirAll(s.uploadDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: upload dir: %w", err)
+	}
+	// Migrate pre-snapshot databases: decode each inlined dataset record
+	// once, write it out as a snapshot file, and drop the fat WAL value.
 	for _, name := range db.Keys(bucketDatasets) {
 		raw, ok := db.Get(bucketDatasets, name)
 		if !ok {
@@ -134,9 +169,31 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 		}
 		ds, err := dataset.ReadBinary(bytes.NewReader(raw))
 		if err != nil {
+			return nil, fmt.Errorf("server: migrate dataset %q: %w", name, err)
+		}
+		if _, err := snaps.Save(name, ds.WriteSnapshot); err != nil {
+			return nil, fmt.Errorf("server: migrate dataset %q: %w", name, err)
+		}
+		if err := db.Delete(bucketDatasets, name); err != nil {
+			return nil, fmt.Errorf("server: migrate dataset %q: %w", name, err)
+		}
+	}
+	if _, err := snaps.Sweep(); err != nil {
+		return nil, fmt.Errorf("server: snapshot sweep: %w", err)
+	}
+	for _, name := range snaps.Names() {
+		path, ok := snaps.Path(name)
+		if !ok {
+			continue
+		}
+		ds, err := dataset.OpenSnapshot(path)
+		if err != nil {
 			return nil, fmt.Errorf("server: reload dataset %q: %w", name, err)
 		}
 		s.datasets[name] = ds
+	}
+	if err := s.reloadUploads(); err != nil {
+		return nil, fmt.Errorf("server: reload uploads: %w", err)
 	}
 	s.auditSeq = db.Len(bucketAudits)
 	// The queue starts after datasets reload so recovered jobs can
@@ -162,8 +219,29 @@ func (s *Server) Jobs() *jobs.Queue { return s.jobs }
 // worker pool drains until ctx expires, and whatever remains is parked
 // durably for the next process. The HTTP listener is owned by the caller
 // (cmd/fairserve) and must be shut down first so no new jobs arrive.
+// Retired dataset mappings — replaced or deleted while audits may still
+// have been reading them — are unmapped here, after the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.jobs.Shutdown(ctx)
+	err := s.jobs.Shutdown(ctx)
+	s.mu.Lock()
+	retired := s.retired
+	s.retired = nil
+	s.mu.Unlock()
+	for _, c := range retired {
+		c.Close()
+	}
+	return err
+}
+
+// registerDataset swaps name's live dataset to ds, retiring (not closing)
+// any previous mapping.
+func (s *Server) registerDataset(name string, ds *dataset.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.datasets[name]; ok {
+		s.retired = append(s.retired, old)
+	}
+	s.datasets[name] = ds
 }
 
 // Handler returns the HTTP handler with all routes mounted. Every route
@@ -184,6 +262,10 @@ func (s *Server) Handler() http.Handler {
 	handleFunc("POST /v1/datasets/{name}", s.handleUploadDataset)
 	handleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	handleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	handleFunc("POST /v1/datasets/{name}/uploads", s.handleCreateUpload)
+	handleFunc("GET /v1/datasets/{name}/uploads/{token}", s.handleUploadStatus)
+	handleFunc("DELETE /v1/datasets/{name}/uploads/{token}", s.handleAbortUpload)
+	handleFunc("POST /v1/datasets/{name}/chunks", s.handleUploadChunk)
 	handleFunc("POST /v1/tasks", s.handlePostTask)
 	handleFunc("GET /v1/tasks", s.handleListTasks)
 	handleFunc("DELETE /v1/tasks/{id}", s.handleDeleteTask)
@@ -255,10 +337,20 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// contentTypeSnapshot is the columnar snapshot format (dataset.WriteSnapshot).
+// Uploads of this type stream through a spill file and are served
+// memory-mapped; the server heap never holds the columns.
+const contentTypeSnapshot = "application/x-fairrank-snapshot"
+
 func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if name == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("dataset name required"))
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct == contentTypeSnapshot {
+		s.uploadSnapshotOneShot(w, r, name)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
@@ -271,34 +363,83 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var ds *dataset.Dataset
-	switch ct := r.Header.Get("Content-Type"); ct {
+	switch ct {
 	case "text/csv":
 		ds, err = dataset.ReadCSV(bytes.NewReader(body), simulate.PaperSchema())
 	case "application/octet-stream", "":
 		ds, err = dataset.ReadBinary(bytes.NewReader(body))
 	default:
 		writeErr(w, http.StatusUnsupportedMediaType,
-			fmt.Errorf("content type %q (want text/csv or application/octet-stream)", ct))
+			fmt.Errorf("content type %q (want text/csv, application/octet-stream or %s)", ct, contentTypeSnapshot))
 		return
 	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// Persist the canonical binary form regardless of the upload format.
-	var snap bytes.Buffer
-	if err := ds.WriteBinary(&snap); err != nil {
+	// Persist as a columnar snapshot file whatever the upload format, then
+	// serve the mapped view; the decoded heap copy dies with this request.
+	path, err := s.snaps.Save(name, ds.WriteSnapshot)
+	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.db.Put(bucketDatasets, name, snap.Bytes()); err != nil {
+	mapped, err := dataset.OpenSnapshot(path)
+	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.datasets[name] = ds
-	writeJSON(w, http.StatusCreated, describe(name, ds))
+	s.registerDataset(name, mapped)
+	writeJSON(w, http.StatusCreated, describe(name, mapped))
+}
+
+// uploadSnapshotOneShot ingests a whole snapshot body in one request,
+// spilling to disk as it arrives. For resumable transfers use the chunked
+// session routes (upload.go); the validate-adopt-register tail is shared.
+func (s *Server) uploadSnapshotOneShot(w http.ResponseWriter, r *http.Request, name string) {
+	tmp, err := os.CreateTemp(s.uploadDir, "oneshot-*")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	spill := tmp.Name()
+	n, err := io.Copy(tmp, io.LimitReader(r.Body, maxUploadBytes+1))
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(spill)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if n > maxUploadBytes {
+		os.Remove(spill)
+		writeErr(w, http.StatusRequestEntityTooLarge, errors.New("upload exceeds size limit"))
+		return
+	}
+	probe, err := dataset.OpenSnapshot(spill)
+	if err != nil {
+		os.Remove(spill)
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("uploaded snapshot invalid: %w", err))
+		return
+	}
+	probe.Close()
+	path, err := s.snaps.Adopt(name, spill)
+	if err != nil {
+		os.Remove(spill)
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	mapped, err := dataset.OpenSnapshot(path)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.registerDataset(name, mapped)
+	writeJSON(w, http.StatusCreated, describe(name, mapped))
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
@@ -335,10 +476,13 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := s.db.Delete(bucketDatasets, name); err != nil {
+	if err := s.snaps.Delete(name); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Retire rather than close: an in-flight audit may still be reading
+	// the mapping (see Server.retired).
+	s.retired = append(s.retired, s.datasets[name])
 	delete(s.datasets, name)
 	w.WriteHeader(http.StatusNoContent)
 }

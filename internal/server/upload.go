@@ -1,0 +1,457 @@
+// Streaming, resumable dataset ingest. One-shot POST /v1/datasets/{name}
+// caps out at what the server is willing to buffer; snapshots of
+// million-worker populations arrive instead as a chunked upload session:
+//
+//	POST   /v1/datasets/{name}/uploads          create session {"size": N} → token
+//	POST   /v1/datasets/{name}/chunks           Upload-Token + Content-Range + bytes
+//	GET    /v1/datasets/{name}/uploads/{token}  status: received/missing ranges
+//	DELETE /v1/datasets/{name}/uploads/{token}  abort, discard the spill
+//
+// Chunks are written straight into a preallocated spill file at their
+// Content-Range offset — the server never holds more than one chunk's
+// io.Copy buffer per request, regardless of dataset size. Received ranges
+// are merged and persisted in the WAL after each chunk's bytes are synced,
+// so a client can resume across both its own interruptions and server
+// restarts. When the byte coverage closes, the spill is validated as a
+// columnar snapshot (dataset.OpenSnapshot), adopted into the snapshot
+// store, and registered as a live mmap-backed dataset — the columns never
+// transit the heap.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fairrank/internal/dataset"
+)
+
+const bucketUploads = "uploads"
+
+// byteRange is a half-open [Start, End) interval of the upload.
+type byteRange struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// uploadSession is the WAL-persisted state of one chunked upload.
+type uploadSession struct {
+	Token   string `json:"token"`
+	Dataset string `json:"dataset"`
+	Size    int64  `json:"size"`
+	// File is the spill filename within the server's upload directory.
+	File string `json:"file"`
+	// Received holds the sorted, disjoint, merged byte ranges written and
+	// synced so far. Persisted after — never before — the bytes reach disk,
+	// so a recorded range is always trustworthy after a crash.
+	Received []byteRange `json:"received,omitempty"`
+}
+
+// mergeRange inserts r into sorted disjoint ranges, coalescing overlaps
+// and adjacencies. Duplicate and out-of-order chunks are naturally
+// idempotent under this merge.
+func mergeRange(rs []byteRange, r byteRange) []byteRange {
+	out := make([]byteRange, 0, len(rs)+1)
+	for _, ex := range rs {
+		switch {
+		case ex.End < r.Start: // strictly before, not even adjacent
+			out = append(out, ex)
+		case r.End < ex.Start: // strictly after
+			// r is placed below; keep ex for the tail.
+			out = append(out, ex)
+		default: // overlap or adjacency: absorb into r
+			r.Start = min(r.Start, ex.Start)
+			r.End = max(r.End, ex.End)
+		}
+	}
+	// Insert r in sorted position.
+	ins := len(out)
+	for i, ex := range out {
+		if r.Start < ex.Start {
+			ins = i
+			break
+		}
+	}
+	out = append(out, byteRange{})
+	copy(out[ins+1:], out[ins:])
+	out[ins] = r
+	return out
+}
+
+func (u *uploadSession) complete() bool {
+	return len(u.Received) == 1 && u.Received[0].Start == 0 && u.Received[0].End == u.Size
+}
+
+func (u *uploadSession) receivedBytes() int64 {
+	var n int64
+	for _, r := range u.Received {
+		n += r.End - r.Start
+	}
+	return n
+}
+
+// missing returns the byte ranges not yet received.
+func (u *uploadSession) missing() []byteRange {
+	var out []byteRange
+	var at int64
+	for _, r := range u.Received {
+		if r.Start > at {
+			out = append(out, byteRange{Start: at, End: r.Start})
+		}
+		at = r.End
+	}
+	if at < u.Size {
+		out = append(out, byteRange{Start: at, End: u.Size})
+	}
+	return out
+}
+
+func (u *uploadSession) spillPath(dir string) string { return filepath.Join(dir, u.File) }
+
+// uploadStatus is the wire form of a session's progress.
+type uploadStatus struct {
+	Token    string      `json:"token"`
+	Dataset  string      `json:"dataset"`
+	Size     int64       `json:"size"`
+	Received int64       `json:"received"`
+	Complete bool        `json:"complete"`
+	Missing  []byteRange `json:"missing,omitempty"`
+}
+
+func (u *uploadSession) status() uploadStatus {
+	return uploadStatus{
+		Token:    u.Token,
+		Dataset:  u.Dataset,
+		Size:     u.Size,
+		Received: u.receivedBytes(),
+		Complete: u.complete(),
+		Missing:  u.missing(),
+	}
+}
+
+func newUploadToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// persistSession writes the session record to the WAL. Callers hold s.mu.
+func (s *Server) persistSession(u *uploadSession) error {
+	raw, err := json.Marshal(u)
+	if err != nil {
+		return err
+	}
+	return s.db.Put(bucketUploads, u.Token, raw)
+}
+
+// reloadUploads restores persisted upload sessions at boot and sweeps
+// spill files no session references (crash residue from finalize/abort).
+// A session whose spill file is missing or mis-sized restarts from zero:
+// the file is recreated at full size and its received set cleared.
+func (s *Server) reloadUploads() error {
+	live := map[string]bool{}
+	for _, token := range s.db.Keys(bucketUploads) {
+		raw, ok := s.db.Get(bucketUploads, token)
+		if !ok {
+			continue
+		}
+		var sess uploadSession
+		if json.Unmarshal(raw, &sess) != nil || sess.Token != token || sess.Size <= 0 || sess.File == "" {
+			// Unreadable record: drop it rather than carry junk forever.
+			if err := s.db.Delete(bucketUploads, token); err != nil {
+				return err
+			}
+			continue
+		}
+		spill := sess.spillPath(s.uploadDir)
+		if st, err := os.Stat(spill); err != nil || st.Size() != sess.Size {
+			sess.Received = nil
+			f, err := os.OpenFile(spill, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+			if err != nil {
+				return fmt.Errorf("server: recreate upload spill: %w", err)
+			}
+			if err := f.Truncate(sess.Size); err != nil {
+				f.Close()
+				return fmt.Errorf("server: size upload spill: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if err := s.persistSession(&sess); err != nil {
+				return err
+			}
+		}
+		s.sessions[token] = &sess
+		live[sess.File] = true
+	}
+	entries, err := os.ReadDir(s.uploadDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || live[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.uploadDir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleCreateUpload starts a chunked upload session for a dataset.
+func (s *Server) handleCreateUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("dataset name required"))
+		return
+	}
+	var req struct {
+		Size int64 `json:"size"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad upload json: %w", err))
+		return
+	}
+	if req.Size <= 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("upload size must be positive"))
+		return
+	}
+	if req.Size > maxUploadBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, errors.New("upload exceeds size limit"))
+		return
+	}
+	token, err := newUploadToken()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess := &uploadSession{
+		Token:   token,
+		Dataset: name,
+		Size:    req.Size,
+		File:    "spill-" + token,
+	}
+	// Preallocate the spill at full size so offset writes never extend the
+	// file and a restart can distinguish "spill intact" from "spill lost".
+	f, err := os.OpenFile(sess.spillPath(s.uploadDir), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := f.Truncate(sess.Size); err != nil {
+		f.Close()
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	err = s.persistSession(sess)
+	if err == nil {
+		s.sessions[token] = sess
+	}
+	s.mu.Unlock()
+	if err != nil {
+		os.Remove(sess.spillPath(s.uploadDir))
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.status())
+}
+
+// parseContentRange parses "bytes <start>-<end>/<total>" (end inclusive,
+// per RFC 9110) into a half-open [start, end+1) byte range.
+func parseContentRange(h string) (start, end, total int64, err error) {
+	const prefix = "bytes "
+	if !strings.HasPrefix(h, prefix) {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	rangePart, totalPart, ok := strings.Cut(h[len(prefix):], "/")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	startPart, endPart, ok := strings.Cut(rangePart, "-")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	if start, err = strconv.ParseInt(startPart, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range start %q", startPart)
+	}
+	if end, err = strconv.ParseInt(endPart, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range end %q", endPart)
+	}
+	if total, err = strconv.ParseInt(totalPart, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range total %q", totalPart)
+	}
+	if start < 0 || end < start || total <= end {
+		return 0, 0, 0, fmt.Errorf("inconsistent Content-Range %q", h)
+	}
+	return start, end, total, nil
+}
+
+// lookupSession fetches the session for a chunk or status request.
+func (s *Server) lookupSession(name, token string) (*uploadSession, error) {
+	if token == "" {
+		return nil, errors.New("upload token required")
+	}
+	s.mu.RLock()
+	sess, ok := s.sessions[token]
+	s.mu.RUnlock()
+	if !ok || sess.Dataset != name {
+		return nil, fmt.Errorf("no upload session %q for dataset %q", token, name)
+	}
+	return sess, nil
+}
+
+// handleUploadChunk receives one Content-Range slice of a session's bytes.
+// Duplicate and out-of-order chunks are accepted; an interrupted body
+// leaves the session exactly as it was. The final chunk — whichever one
+// closes the coverage — finalizes the upload and answers 201 with the
+// registered dataset; earlier chunks answer 202 with progress.
+func (s *Server) handleUploadChunk(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sess, err := s.lookupSession(name, r.Header.Get("Upload-Token"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	start, end, total, err := parseContentRange(r.Header.Get("Content-Range"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if total != sess.Size {
+		writeErr(w, http.StatusRequestedRangeNotSatisfiable,
+			fmt.Errorf("Content-Range total %d does not match session size %d", total, sess.Size))
+		return
+	}
+	want := end - start + 1
+	f, err := os.OpenFile(sess.spillPath(s.uploadDir), os.O_WRONLY, 0)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Bounded copy straight to the spill offset: per-request memory is one
+	// copy buffer, independent of chunk and dataset size.
+	n, err := io.Copy(io.NewOffsetWriter(f, start), io.LimitReader(r.Body, want))
+	if err != nil {
+		// Interrupted mid-chunk: nothing recorded, the client retries the
+		// same range. Sparse partial bytes in the spill are harmless — the
+		// range only becomes trusted when fully written and synced.
+		f.Close()
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("chunk body: %w", err))
+		return
+	}
+	if n != want {
+		f.Close()
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("chunk body has %d bytes, Content-Range promised %d", n, want))
+		return
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	sess.Received = mergeRange(sess.Received, byteRange{Start: start, End: end + 1})
+	err = s.persistSession(sess)
+	done := sess.complete()
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !done {
+		writeJSON(w, http.StatusAccepted, sess.status())
+		return
+	}
+	s.finalizeUpload(w, sess)
+}
+
+// finalizeUpload validates a fully-received spill as a columnar snapshot,
+// adopts it into the snapshot store, and registers the mmap-backed
+// dataset. The session is consumed either way: a corrupt upload is
+// discarded rather than left around to re-fail forever.
+func (s *Server) finalizeUpload(w http.ResponseWriter, sess *uploadSession) {
+	spill := sess.spillPath(s.uploadDir)
+	dropSession := func() {
+		s.mu.Lock()
+		delete(s.sessions, sess.Token)
+		s.db.Delete(bucketUploads, sess.Token)
+		s.mu.Unlock()
+	}
+	// Probe-validate, then unmap: Adopt renames the file and the snapshot
+	// store must own the only live view of its final path.
+	probe, err := dataset.OpenSnapshot(spill)
+	if err != nil {
+		dropSession()
+		os.Remove(spill)
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("uploaded snapshot invalid: %w", err))
+		return
+	}
+	probe.Close()
+	path, err := s.snaps.Adopt(sess.Dataset, spill)
+	if err != nil {
+		dropSession()
+		os.Remove(spill)
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	mapped, err := dataset.OpenSnapshot(path)
+	if err != nil {
+		dropSession()
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.registerDataset(sess.Dataset, mapped)
+	dropSession()
+	writeJSON(w, http.StatusCreated, describe(sess.Dataset, mapped))
+}
+
+func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookupSession(r.PathValue("name"), r.PathValue("token"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.RLock()
+	st := sess.status()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleAbortUpload(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookupSession(r.PathValue("name"), r.PathValue("token"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.Token)
+	err = s.db.Delete(bucketUploads, sess.Token)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	os.Remove(sess.spillPath(s.uploadDir))
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -35,6 +35,11 @@ type Spec struct {
 	Name string
 	// Workers is the population size.
 	Workers int
+	// Dataset, when non-nil, is audited directly instead of generating
+	// Workers synthetic workers — e.g. a memory-mapped snapshot the caller
+	// opened with dataset.OpenSnapshot. Workers and the generation half of
+	// Seed are then ignored; Seed still drives the random baselines.
+	Dataset *dataset.Dataset
 	// Seed drives worker generation and the random-attribute baselines.
 	Seed uint64
 	// Funcs are the scoring functions to audit (table columns).
@@ -43,6 +48,15 @@ type Spec struct {
 	Algorithms []AlgorithmID
 	// Config tunes the unfairness evaluator.
 	Config core.Config
+}
+
+// population resolves the experiment's dataset: the injected one if set,
+// a generated paper-schema population otherwise.
+func (s Spec) population() (*dataset.Dataset, error) {
+	if s.Dataset != nil {
+		return s.Dataset, nil
+	}
+	return PaperWorkers(s.Workers, s.Seed)
 }
 
 // Cell is one (algorithm, function) measurement.
@@ -84,7 +98,7 @@ func Run(spec Spec) (*Result, error) {
 	if algos == nil {
 		algos = AllAlgorithms
 	}
-	ds, err := PaperWorkers(spec.Workers, spec.Seed)
+	ds, err := spec.population()
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +153,7 @@ func RunParallel(spec Spec, workers int) (*Result, error) {
 	if algos == nil {
 		algos = AllAlgorithms
 	}
-	ds, err := PaperWorkers(spec.Workers, spec.Seed)
+	ds, err := spec.population()
 	if err != nil {
 		return nil, err
 	}

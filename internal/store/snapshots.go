@@ -1,0 +1,248 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Snapshots manages columnar dataset snapshot files alongside a DB. The
+// WAL stays small — it holds only JSON refs (name → file, size) in the
+// bucketSnapshots bucket — while the column data lives in ordinary files
+// under dir, sized for mmap rather than for the log's record limit. This
+// replaces the old scheme of inlining whole binary datasets as WAL values,
+// which both bloated replay and capped datasets at maxRecordSize.
+//
+// Crash safety is temp+rename: a snapshot file becomes visible under its
+// final name only when fully written and fsynced, and the WAL ref is
+// written after the rename. The only crash residue is an unreferenced
+// file, which Sweep removes at boot.
+const bucketSnapshots = "snapshots"
+
+// SnapshotRef is the WAL-resident record describing one snapshot file.
+type SnapshotRef struct {
+	// Name is the logical dataset name.
+	Name string `json:"name"`
+	// File is the snapshot's filename within the manager's directory.
+	File string `json:"file"`
+	// Size is the file's byte length at registration.
+	Size int64 `json:"size"`
+}
+
+// Snapshots is safe for concurrent use.
+type Snapshots struct {
+	db  *DB
+	dir string
+	mu  sync.Mutex
+}
+
+// NewSnapshots returns a manager storing snapshot files under dir
+// (created if absent) and refs in db.
+func NewSnapshots(db *DB, dir string) (*Snapshots, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: snapshot dir: %w", err)
+	}
+	return &Snapshots{db: db, dir: dir}, nil
+}
+
+// Dir returns the directory holding the snapshot files.
+func (s *Snapshots) Dir() string { return s.dir }
+
+// fileFor derives a filesystem-safe, collision-free filename for a logical
+// name: unsafe runes are flattened to '_' and a checksum of the raw name
+// keeps distinct names distinct after flattening.
+func fileFor(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return fmt.Sprintf("%s-%08x.snap", b.String(), crc32.ChecksumIEEE([]byte(name)))
+}
+
+// Save streams a new snapshot for name through write into a temp file,
+// fsyncs, renames it into place, and registers the ref. An existing
+// snapshot under the same name is replaced; its old file is removed. The
+// final path is returned.
+func (s *Snapshots) Save(name string, write func(io.Writer) error) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("store: empty snapshot name")
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("store: snapshot close: %w", err)
+	}
+	return s.adoptFile(name, tmp.Name())
+}
+
+// Adopt registers an already-written snapshot file (e.g. a finalized
+// streaming-upload spill) under name, moving it into the manager's
+// directory. The source file must be complete; callers are expected to
+// have validated it (dataset.OpenSnapshot succeeds) first.
+func (s *Snapshots) Adopt(name, srcPath string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("store: empty snapshot name")
+	}
+	return s.adoptFile(name, srcPath)
+}
+
+func (s *Snapshots) adoptFile(name, srcPath string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	file := fileFor(name)
+	final := filepath.Join(s.dir, file)
+	if err := rename(srcPath, final); err != nil {
+		return "", fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	st, err := os.Stat(final)
+	if err != nil {
+		return "", fmt.Errorf("store: snapshot stat: %w", err)
+	}
+	// Fsync the directory so the rename itself survives a crash.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	raw, err := json.Marshal(SnapshotRef{Name: name, File: file, Size: st.Size()})
+	if err != nil {
+		return "", err
+	}
+	if err := s.db.Put(bucketSnapshots, name, raw); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// rename moves src to dst, falling back to copy+remove across filesystems
+// (a spill directory on another mount).
+func rename(src, dst string) error {
+	if err := os.Rename(src, dst); err == nil {
+		return nil
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(dst)
+		return err
+	}
+	return os.Remove(src)
+}
+
+// Ref returns the registered ref for name.
+func (s *Snapshots) Ref(name string) (SnapshotRef, bool) {
+	raw, ok := s.db.Get(bucketSnapshots, name)
+	if !ok {
+		return SnapshotRef{}, false
+	}
+	var ref SnapshotRef
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		return SnapshotRef{}, false
+	}
+	return ref, true
+}
+
+// Path returns the file path of name's snapshot.
+func (s *Snapshots) Path(name string) (string, bool) {
+	ref, ok := s.Ref(name)
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(s.dir, ref.File), true
+}
+
+// Names returns the registered snapshot names, sorted.
+func (s *Snapshots) Names() []string {
+	return s.db.Keys(bucketSnapshots)
+}
+
+// Delete removes name's ref and file. The ref goes first: a crash between
+// the two leaves an orphan file for Sweep, never a ref pointing nowhere.
+func (s *Snapshots) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.Ref(name)
+	if !ok {
+		return nil
+	}
+	if err := s.db.Delete(bucketSnapshots, name); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.dir, ref.File)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Sweep removes files in the snapshot directory that no ref points at:
+// crash residue from interrupted Save/Adopt/Delete calls (including stale
+// temp files). It returns the removed filenames. Meant for boot, after the
+// DB has replayed.
+func (s *Snapshots) Sweep() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	referenced := map[string]bool{}
+	for _, name := range s.db.Keys(bucketSnapshots) {
+		if ref, ok := s.Ref(name); ok {
+			referenced[ref.File] = true
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fn := e.Name()
+		orphanSnap := strings.HasSuffix(fn, ".snap") && !referenced[fn]
+		staleTmp := strings.HasPrefix(fn, ".tmp-")
+		if !orphanSnap && !staleTmp {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, fn)); err != nil {
+			return removed, err
+		}
+		removed = append(removed, fn)
+	}
+	return removed, nil
+}

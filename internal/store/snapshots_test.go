@@ -1,0 +1,206 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestSnapshots(t *testing.T) (*DB, *Snapshots, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "db.log"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	snaps, err := NewSnapshots(db, filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, snaps, dir
+}
+
+func TestSnapshotsSaveAndPath(t *testing.T) {
+	_, snaps, _ := openTestSnapshots(t)
+	payload := []byte("columnar bytes")
+	path, err := snaps.Save("workers v1", func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("saved %q, want %q", got, payload)
+	}
+	p, ok := snaps.Path("workers v1")
+	if !ok || p != path {
+		t.Fatalf("Path = %q, %v; want %q, true", p, ok, path)
+	}
+	ref, ok := snaps.Ref("workers v1")
+	if !ok || ref.Size != int64(len(payload)) {
+		t.Fatalf("Ref = %+v, %v", ref, ok)
+	}
+	if names := snaps.Names(); len(names) != 1 || names[0] != "workers v1" {
+		t.Fatalf("Names = %v", names)
+	}
+	// No stray temp files remain.
+	entries, _ := os.ReadDir(snaps.Dir())
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSnapshotsSaveReplaces(t *testing.T) {
+	_, snaps, _ := openTestSnapshots(t)
+	write := func(s string) func(io.Writer) error {
+		return func(w io.Writer) error { _, err := io.WriteString(w, s); return err }
+	}
+	if _, err := snaps.Save("d", write("one")); err != nil {
+		t.Fatal(err)
+	}
+	path, err := snaps.Save("d", write("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "two" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if names := snaps.Names(); len(names) != 1 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSnapshotsFailedWriteLeavesNothing(t *testing.T) {
+	_, snaps, _ := openTestSnapshots(t)
+	wantErr := io.ErrUnexpectedEOF
+	if _, err := snaps.Save("broken", func(w io.Writer) error { return wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if _, ok := snaps.Path("broken"); ok {
+		t.Fatal("failed save registered a ref")
+	}
+	entries, _ := os.ReadDir(snaps.Dir())
+	if len(entries) != 0 {
+		t.Fatalf("failed save left files: %v", entries)
+	}
+}
+
+func TestSnapshotsAdopt(t *testing.T) {
+	_, snaps, dir := openTestSnapshots(t)
+	spill := filepath.Join(dir, "upload.spill")
+	if err := os.WriteFile(spill, []byte("spilled"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, err := snaps.Adopt("uploaded", spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(spill); !os.IsNotExist(err) {
+		t.Fatal("adopt left the source file behind")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "spilled" {
+		t.Fatalf("adopted content %q", got)
+	}
+}
+
+func TestSnapshotsDelete(t *testing.T) {
+	_, snaps, _ := openTestSnapshots(t)
+	path, err := snaps.Save("d", func(w io.Writer) error { _, err := w.Write([]byte("x")); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snaps.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snaps.Path("d"); ok {
+		t.Fatal("ref survived delete")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("file survived delete")
+	}
+	if err := snaps.Delete("d"); err != nil {
+		t.Fatal("double delete should be a no-op:", err)
+	}
+}
+
+func TestSnapshotsSweep(t *testing.T) {
+	_, snaps, _ := openTestSnapshots(t)
+	kept, err := snaps.Save("keep", func(w io.Writer) error { _, err := w.Write([]byte("k")); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash residue: an unreferenced snapshot and a stale temp file.
+	orphan := filepath.Join(snaps.Dir(), "orphan-deadbeef.snap")
+	stale := filepath.Join(snaps.Dir(), ".tmp-123")
+	os.WriteFile(orphan, []byte("o"), 0o644)
+	os.WriteFile(stale, []byte("t"), 0o644)
+	removed, err := snaps.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want 2 entries", removed)
+	}
+	if _, err := os.Stat(kept); err != nil {
+		t.Fatal("sweep removed a referenced snapshot")
+	}
+	for _, p := range []string{orphan, stale} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("sweep left %s", p)
+		}
+	}
+}
+
+func TestSnapshotsPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.log")
+	db, err := Open(dbPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := NewSnapshots(db, filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := snaps.Save("durable", func(w io.Writer) error { _, err := w.Write([]byte("d")); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dbPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	snaps2, err := NewSnapshots(db2, filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := snaps2.Path("durable")
+	if !ok || p != path {
+		t.Fatalf("after reopen: Path = %q, %v; want %q", p, ok, path)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotsDistinctNamesDistinctFiles(t *testing.T) {
+	// Names that flatten to the same safe form must not collide.
+	if fileFor("a b") == fileFor("a/b") {
+		t.Fatal("fileFor collision between distinct names")
+	}
+}

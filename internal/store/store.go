@@ -216,6 +216,10 @@ func (db *DB) writeRecord(op byte, bucket, key string, value []byte) (int, error
 	return 8 + len(body), nil
 }
 
+// Path returns the log file's path — the anchor for sibling storage such
+// as the snapshot directory.
+func (db *DB) Path() string { return db.path }
+
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("store: database is closed")
 
