@@ -286,5 +286,10 @@ func OpenSnapshot(path string) (*Dataset, error) {
 		closer()
 		return nil, fmt.Errorf("dataset: open snapshot %s: %w", path, err)
 	}
-	return FromSource(src)
+	ds, err := FromSource(src)
+	if err != nil {
+		src.Close()
+		return nil, fmt.Errorf("dataset: open snapshot %s: %w", path, err)
+	}
+	return ds, nil
 }

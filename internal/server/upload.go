@@ -30,11 +30,24 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"fairrank/internal/dataset"
 )
 
-const bucketUploads = "uploads"
+const (
+	bucketUploads = "uploads"
+	// maxUploadSessions caps concurrent chunked-upload sessions. Each
+	// session preallocates up to maxUploadBytes of spill, so without a cap
+	// an unauthenticated client could reserve unbounded disk.
+	maxUploadSessions = 32
+	// uploadSessionTTL is how long a session may sit idle (no chunk
+	// accepted) before it becomes eligible for expiry. Expiry is swept
+	// lazily when new sessions are created, which is exactly when the
+	// cap — the resource being protected — comes under pressure.
+	uploadSessionTTL = time.Hour
+)
 
 // byteRange is a half-open [Start, End) interval of the upload.
 type byteRange struct {
@@ -53,6 +66,21 @@ type uploadSession struct {
 	// synced so far. Persisted after — never before — the bytes reach disk,
 	// so a recorded range is always trustworthy after a crash.
 	Received []byteRange `json:"received,omitempty"`
+	// Updated is the unix time of the last accepted chunk (or session
+	// creation); idle sessions past uploadSessionTTL are expired.
+	Updated int64 `json:"updated,omitempty"`
+
+	// closed marks the session as no longer accepting writes: set under
+	// s.mu by exactly one of finalize, abort, or expiry, whichever wins.
+	// Chunk requests check it both before touching the spill and again
+	// before recording their range, so once closed is observed true no new
+	// spill fd is opened and no range is merged or persisted.
+	closed bool
+	// writers counts in-flight chunk writes. Add happens under s.mu only
+	// while !closed; finalizeUpload sets closed then Waits, so by the time
+	// it validates the spill every straggling write has landed and no new
+	// one can start — nothing can dirty the file after validation.
+	writers sync.WaitGroup
 }
 
 // mergeRange inserts r into sorted disjoint ranges, coalescing overlaps
@@ -173,6 +201,11 @@ func (s *Server) reloadUploads() error {
 			}
 			continue
 		}
+		if sess.Updated == 0 {
+			// Pre-expiry record: date it from boot so it gets a full idle
+			// window before the TTL sweep may claim it.
+			sess.Updated = time.Now().Unix()
+		}
 		spill := sess.spillPath(s.uploadDir)
 		if st, err := os.Stat(spill); err != nil || st.Size() != sess.Size {
 			sess.Received = nil
@@ -231,6 +264,13 @@ func (s *Server) handleCreateUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusRequestEntityTooLarge, errors.New("upload exceeds size limit"))
 		return
 	}
+	// Make room by expiring idle sessions before judging the cap.
+	s.mu.Lock()
+	stale := s.expireSessionsLocked(time.Now())
+	s.mu.Unlock()
+	for _, spill := range stale {
+		os.Remove(spill)
+	}
 	token, err := newUploadToken()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -241,6 +281,7 @@ func (s *Server) handleCreateUpload(w http.ResponseWriter, r *http.Request) {
 		Dataset: name,
 		Size:    req.Size,
 		File:    "spill-" + token,
+		Updated: time.Now().Unix(),
 	}
 	// Preallocate the spill at full size so offset writes never extend the
 	// file and a restart can distinguish "spill intact" from "spill lost".
@@ -258,18 +299,45 @@ func (s *Server) handleCreateUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Cap check and insert are one atomic step, so concurrent creates
+	// cannot race past the limit between a check and an insert.
 	s.mu.Lock()
+	if len(s.sessions) >= maxUploadSessions {
+		s.mu.Unlock()
+		os.Remove(sess.spillPath(s.uploadDir))
+		writeErr(w, http.StatusTooManyRequests, errors.New("too many concurrent upload sessions"))
+		return
+	}
 	err = s.persistSession(sess)
 	if err == nil {
 		s.sessions[token] = sess
 	}
+	st := sess.status()
 	s.mu.Unlock()
 	if err != nil {
 		os.Remove(sess.spillPath(s.uploadDir))
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, sess.status())
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// expireSessionsLocked closes and unregisters sessions idle for longer
+// than uploadSessionTTL, returning their spill paths for the caller to
+// remove outside the lock. Callers hold s.mu.
+func (s *Server) expireSessionsLocked(now time.Time) []string {
+	var spills []string
+	cutoff := now.Add(-uploadSessionTTL).Unix()
+	for token, sess := range s.sessions {
+		if sess.closed || sess.Updated > cutoff {
+			continue
+		}
+		sess.closed = true
+		delete(s.sessions, token)
+		s.db.Delete(bucketUploads, token)
+		spills = append(spills, sess.spillPath(s.uploadDir))
+	}
+	return spills
 }
 
 // parseContentRange parses "bytes <start>-<end>/<total>" (end inclusive,
@@ -339,58 +407,102 @@ func (s *Server) handleUploadChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	want := end - start + 1
-	f, err := os.OpenFile(sess.spillPath(s.uploadDir), os.O_WRONLY, 0)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	// Bounded copy straight to the spill offset: per-request memory is one
-	// copy buffer, independent of chunk and dataset size.
-	n, err := io.Copy(io.NewOffsetWriter(f, start), io.LimitReader(r.Body, want))
-	if err != nil {
-		// Interrupted mid-chunk: nothing recorded, the client retries the
-		// same range. Sparse partial bytes in the spill are harmless — the
-		// range only becomes trusted when fully written and synced.
-		f.Close()
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("chunk body: %w", err))
-		return
-	}
-	if n != want {
-		f.Close()
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("chunk body has %d bytes, Content-Range promised %d", n, want))
-		return
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	if err := f.Close(); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
+	// Admission: a closed session (finalizing, aborted, or expired) must
+	// not have its spill reopened — once finalize validates the bytes, a
+	// stray writer into the adopted, mmap'd snapshot would break the
+	// zero-copy invariant that opened views are safe to index.
 	s.mu.Lock()
+	if sess.closed {
+		st := sess.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	sess.writers.Add(1)
+	s.mu.Unlock()
+	if code, err := s.writeChunk(sess, start, want, r.Body); err != nil {
+		sess.writers.Done()
+		writeErr(w, code, err)
+		return
+	}
+	sess.writers.Done()
+	s.mu.Lock()
+	if sess.closed {
+		// The session finalized (or was aborted) while our bytes were in
+		// flight. The write went to an unlinked or about-to-be-validated
+		// file and was never recorded; tell the client where things stand
+		// rather than resurrect the session's WAL record.
+		st := sess.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
 	sess.Received = mergeRange(sess.Received, byteRange{Start: start, End: end + 1})
+	sess.Updated = time.Now().Unix()
 	err = s.persistSession(sess)
-	done := sess.complete()
+	done := err == nil && sess.complete()
+	if done {
+		// Electing this request the sole finalizer: every later chunk —
+		// including a duplicate retry of this one — bounces off closed
+		// above instead of double-finalizing.
+		sess.closed = true
+	}
+	st := sess.status()
 	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	if !done {
-		writeJSON(w, http.StatusAccepted, sess.status())
+		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
 	s.finalizeUpload(w, sess)
 }
 
+// writeChunk copies want bytes of body into the session spill at offset
+// start and syncs them. The bounded copy straight to the offset keeps
+// per-request memory at one copy buffer, independent of chunk and dataset
+// size. A non-nil error reports the HTTP status to answer with; nothing
+// is recorded, so the client simply retries the same range. Sparse
+// partial bytes from an interrupted copy are harmless — the range only
+// becomes trusted when fully written and synced.
+func (s *Server) writeChunk(sess *uploadSession, start, want int64, body io.Reader) (int, error) {
+	f, err := os.OpenFile(sess.spillPath(s.uploadDir), os.O_WRONLY, 0)
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	n, err := io.Copy(io.NewOffsetWriter(f, start), io.LimitReader(body, want))
+	if err != nil {
+		f.Close()
+		return http.StatusInternalServerError, fmt.Errorf("chunk body: %w", err)
+	}
+	if n != want {
+		f.Close()
+		return http.StatusBadRequest,
+			fmt.Errorf("chunk body has %d bytes, Content-Range promised %d", n, want)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return http.StatusInternalServerError, err
+	}
+	if err := f.Close(); err != nil {
+		return http.StatusInternalServerError, err
+	}
+	return 0, nil
+}
+
 // finalizeUpload validates a fully-received spill as a columnar snapshot,
 // adopts it into the snapshot store, and registers the mmap-backed
 // dataset. The session is consumed either way: a corrupt upload is
-// discarded rather than left around to re-fail forever.
+// discarded rather than left around to re-fail forever. The caller must
+// have set sess.closed under s.mu, electing itself the only finalizer.
 func (s *Server) finalizeUpload(w http.ResponseWriter, sess *uploadSession) {
+	// Drain straggling chunk writes (duplicate retries of ranges other
+	// chunks already covered). closed is set, so no new writer can start:
+	// after Wait the spill is quiescent, and whatever those writers left
+	// behind is exactly what OpenSnapshot validates below.
+	sess.writers.Wait()
 	spill := sess.spillPath(s.uploadDir)
 	dropSession := func() {
 		s.mu.Lock()
@@ -445,6 +557,12 @@ func (s *Server) handleAbortUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if sess.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, errors.New("upload session is finalizing"))
+		return
+	}
+	sess.closed = true
 	delete(s.sessions, sess.Token)
 	err = s.db.Delete(bucketUploads, sess.Token)
 	s.mu.Unlock()

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"fairrank/internal/simulate"
 	"fairrank/internal/store"
@@ -325,6 +328,92 @@ func TestJobBySnapshotReference(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown snapshot: %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestUploadConcurrentFinalChunkSingleFinalizer: several identical
+// retries of the coverage-closing chunk race each other. Exactly one
+// request may finalize (201); the rest must bounce off the closed
+// session (409, or 404 once it is consumed) — never a spurious 422/500
+// from a double finalize, and never a write into the adopted snapshot.
+func TestUploadConcurrentFinalChunkSingleFinalizer(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	snap := snapshotBytes(t, 60)
+	token := createUpload(t, ts, "big", len(snap))
+	half := len(snap) / 2
+	resp := sendChunk(t, ts, "big", token, snap[:half], 0, len(snap))
+	resp.Body.Close()
+
+	const racers = 8
+	codes := make(chan int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/big/chunks", bytes.NewReader(snap[half:]))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			req.Header.Set("Upload-Token", token)
+			req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", half, len(snap)-1, len(snap)))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	created := 0
+	for code := range codes {
+		switch code {
+		case http.StatusCreated:
+			created++
+		case http.StatusConflict, http.StatusNotFound:
+			// Lost the race after or before the winner finalized.
+		default:
+			t.Fatalf("racing final chunk answered %d, want 201/409/404", code)
+		}
+	}
+	if created != 1 {
+		t.Fatalf("%d racing final chunks finalized, want exactly 1", created)
+	}
+	assertDatasetWorkers(t, ts, "big", 60)
+}
+
+// TestUploadSessionCapAndExpiry: session count is capped, and creating a
+// new session sweeps idle-expired sessions (removing their spills) to
+// make room under the cap.
+func TestUploadSessionCapAndExpiry(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	tokens := make([]string, 0, maxUploadSessions)
+	for i := 0; i < maxUploadSessions; i++ {
+		tokens = append(tokens, createUpload(t, ts, "d", 4096))
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/datasets/d/uploads", map[string]int{"size": 4096})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create beyond cap: %d (%s), want 429", resp.StatusCode, body)
+	}
+
+	// Age every session past the TTL; the next create sweeps them.
+	srv.mu.Lock()
+	for _, sess := range srv.sessions {
+		sess.Updated -= int64(2 * uploadSessionTTL / time.Second)
+	}
+	spill := srv.sessions[tokens[0]].spillPath(srv.uploadDir)
+	srv.mu.Unlock()
+
+	createUpload(t, ts, "d", 4096)
+	if code := getJSON(t, ts.URL+"/v1/datasets/d/uploads/"+tokens[0], nil); code != http.StatusNotFound {
+		t.Fatalf("expired session status = %d, want 404", code)
+	}
+	if _, err := os.Stat(spill); !os.IsNotExist(err) {
+		t.Fatalf("expired session spill still on disk (err=%v)", err)
 	}
 }
 
