@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 7
 
-.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot telemetry-overhead verify fuzz-smoke cover
+.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot bench-rerank telemetry-overhead verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,25 @@ bench-snapshot:
 	$(GO) run ./cmd/benchdiff -baseline 'src=mem' -candidate 'src=mmap' -max-overhead 10 < /tmp/snapshot-bench.txt
 	$(GO) run ./cmd/benchjson -algo balanced -workers 7300 -out BENCH_7.json < /tmp/snapshot-bench.txt
 
+# bench-rerank is the CI gate for the serving-time re-ranking suite
+# (DESIGN.md §11) and emits BENCH_8.json. Two checks run:
+#   1. latency budget: TestRerankP99Budget load-generates 480 requests per
+#      registered re-ranker over a 5000-candidate pool and holds each
+#      algorithm's fairrank_rerank_seconds p99 under 0.25s.
+#   2. registry overhead: serving exposure-parity through the registry
+#      (Lookup + nil-registry telemetry, the POST /v1/rank path) must stay
+#      within 5% of calling ExposureParity directly. BENCHCOUNT separate
+#      short rounds, per-round pairing rationale as in telemetry-overhead.
+bench-rerank:
+	@rm -f /tmp/rerank-bench.txt
+	$(GO) test -run '^TestRerankP99Budget$$' -v ./internal/rerank/
+	@for i in $$(seq $(BENCHCOUNT)); do \
+		$(GO) test -run '^$$' -bench 'BenchmarkRerankServe$$' -benchtime 100x -count 1 ./internal/rerank/ >> /tmp/rerank-bench.txt || exit 1; \
+	done
+	@grep ns/op /tmp/rerank-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'path=direct' -candidate 'algo=exposure-parity/path=registry' -max-overhead 5 < /tmp/rerank-bench.txt
+	$(GO) run ./cmd/benchjson -algo balanced -out BENCH_8.json < /tmp/rerank-bench.txt
+
 # telemetry-overhead is the CI gate for the observability layer: the
 # always-on metrics path (what fairserve enables per request) must stay
 # within 5% of the uninstrumented baseline, and the opt-in span-tracing
@@ -127,6 +146,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run '^$$' -fuzz '^FuzzPrometheus$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzJobSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/jobs/
+	$(GO) test -run '^$$' -fuzz '^FuzzRankRequest$$' -fuzztime $(FUZZTIME) ./internal/server/
 
 # cover writes a module-wide coverage profile (uploaded as a CI artifact).
 cover:

@@ -15,6 +15,10 @@
 //
 //	fairbench -figure1
 //	fairbench -exhaustive-demo
+//
+// The serving-time re-ranker fairness/utility trade-off table:
+//
+//	fairbench -rerank -workers 500
 package main
 
 import (
@@ -78,12 +82,14 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "sweep α over [0,1] and report unfairness per mixing weight")
 		points  = flag.Int("points", 11, "number of α values for -sweep")
 		exDemo  = flag.Bool("exhaustive-demo", false, "demonstrate the exhaustive-search budget blow-up")
+		rerankF = flag.Bool("rerank", false, "evaluate every serving-time re-ranker's fairness/utility trade-off")
+		rerankK = flag.Int("rerank-k", 125, "page size for -rerank")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		telJSON = flag.String("telemetry-json", "", "write engine metrics and span trees as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
-	if !*figure1 && !*exDemo && !*sweep && *table == "" {
+	if !*figure1 && !*exDemo && !*sweep && !*rerankF && *table == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -134,6 +140,15 @@ func main() {
 			n = simulate.SmallPopulation
 		}
 		if err := runSweep(os.Stdout, snapDS, n, *seed, *bins, *points, bt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *rerankF {
+		n := *workers
+		if n == 0 {
+			n = simulate.SmallPopulation
+		}
+		if err := runRerank(os.Stdout, snapDS, n, *seed, *rerankK, bt); err != nil {
 			log.Fatal(err)
 		}
 	}

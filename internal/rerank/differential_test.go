@@ -1,0 +1,312 @@
+package rerank
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/marketplace"
+	"fairrank/internal/testkit"
+)
+
+// Differential tests: every registered re-ranker runs against the
+// testkit oracles — the literal binomial-CDF table construction, the
+// exhaustive family-wise failure probability, and the brute-force prefix
+// checks — over seeded generator populations.
+
+// pageCodes projects a page onto its sequence of group codes.
+func pageCodes(ds *dataset.Dataset, attr int, page []marketplace.RankedWorker) []int {
+	out := make([]int, len(page))
+	for i, rw := range page {
+		out[i] = ds.Code(attr, rw.Worker)
+	}
+	return out
+}
+
+// poolCounts tallies pool members per group code.
+func poolCounts(ds *dataset.Dataset, attr int, pool []marketplace.RankedWorker) []int {
+	out := make([]int, ds.Schema().Protected[attr].Cardinality())
+	for _, rw := range pool {
+		out[ds.Code(attr, rw.Worker)]++
+	}
+	return out
+}
+
+// The incremental MTable must reproduce the oracle's scan-from-zero
+// construction entry for entry.
+func TestMTableMatchesOracle(t *testing.T) {
+	var o testkit.Oracle
+	for seed := uint64(1); seed <= 80; seed++ {
+		g := testkit.NewGen(seed)
+		k := g.R.IntRange(1, 40)
+		p := g.R.FloatRange(0.05, 0.95)
+		alpha := g.R.FloatRange(0.01, 0.3)
+		got := MTable(k, p, alpha)
+		want := o.FairTopKTable(k, p, alpha)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d (k=%d p=%v alpha=%v): entry %d = %d, oracle %d",
+					seed, k, p, alpha, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The failure-probability dynamic program must match the exhaustive
+// 2^k enumeration for every small table, including adjusted ones.
+func TestFailureProbMatchesExhaustive(t *testing.T) {
+	var o testkit.Oracle
+	for seed := uint64(1); seed <= 60; seed++ {
+		g := testkit.NewGen(seed)
+		k := g.R.IntRange(1, 12)
+		p := g.R.FloatRange(0.1, 0.9)
+		alpha := g.R.FloatRange(0.02, 0.3)
+		for _, tbl := range [][]int{
+			MTable(k, p, alpha),
+			MTable(k, p, AdjustAlpha(k, p, alpha)),
+		} {
+			got := FailureProb(p, tbl)
+			want := o.FairFailProb(p, tbl)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d (k=%d p=%v): DP %v, exhaustive %v over %v",
+					seed, k, p, got, want, tbl)
+			}
+		}
+	}
+}
+
+// The significance adjustment must lower alpha, bring the family-wise
+// failure probability within the nominal level, and only ever relax the
+// table (pointwise <= the unadjusted one).
+func TestAdjustAlphaProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		g := testkit.NewGen(seed)
+		k := g.R.IntRange(2, 60)
+		p := g.R.FloatRange(0.1, 0.9)
+		alpha := g.R.FloatRange(0.02, 0.3)
+		ac := AdjustAlpha(k, p, alpha)
+		if ac > alpha || ac < 0 {
+			t.Fatalf("seed %d: adjusted alpha %v outside [0, %v]", seed, ac, alpha)
+		}
+		if fp := FailureProb(p, MTable(k, p, ac)); fp > alpha+1e-9 {
+			t.Fatalf("seed %d: adjusted table still fails at %v > %v", seed, fp, alpha)
+		}
+		raw, adj := MTable(k, p, alpha), AdjustedMTable(k, p, alpha)
+		for i := range adj {
+			if adj[i] > raw[i] {
+				t.Fatalf("seed %d: adjusted table exceeds raw at %d: %d > %d",
+					seed, i, adj[i], raw[i])
+			}
+		}
+	}
+}
+
+// Every registered re-ranker must return a well-formed page: size
+// min(k, pool), fresh ranks 1..n, candidates a subset of the pool with
+// unchanged scores and no duplicates.
+func TestAllRerankersContract(t *testing.T) {
+	infeasible := 0
+	for seed := uint64(1); seed <= 50; seed++ {
+		g := testkit.NewGen(seed)
+		ds, err := g.WorkerDataset(g.R.IntRange(3, 90))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := scoreSorted(g, ds)
+		k := g.R.IntRange(1, len(pool)+5)
+		for _, name := range Rerankers() {
+			page, err := Serve(nil, name, ds, 0, pool, k, Params{Epsilon: g.R.Float64()})
+			if errors.Is(err, ErrInfeasible) {
+				infeasible++
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			want := pageSize(k, len(pool))
+			if len(page) != want {
+				t.Fatalf("seed %d %s: page size %d, want %d", seed, name, len(page), want)
+			}
+			seen := map[int]float64{}
+			for _, rw := range pool {
+				seen[rw.Worker] = rw.Score
+			}
+			for i, rw := range page {
+				if rw.Rank != i+1 {
+					t.Fatalf("seed %d %s: position %d has rank %d", seed, name, i, rw.Rank)
+				}
+				score, ok := seen[rw.Worker]
+				if !ok {
+					t.Fatalf("seed %d %s: worker %d not in pool (or duplicated)", seed, name, rw.Worker)
+				}
+				if score != rw.Score {
+					t.Fatalf("seed %d %s: worker %d score changed", seed, name, rw.Worker)
+				}
+				delete(seen, rw.Worker)
+			}
+		}
+	}
+	if infeasible > 20 {
+		t.Fatalf("%d of 50 seeds infeasible for fair-topk — generator shares too skewed", infeasible)
+	}
+}
+
+// fair-topk pages must satisfy every group's adjusted minimum-count
+// table at every prefix, checked by the oracle's brute-force counter.
+func TestFairTopKSatisfiesTables(t *testing.T) {
+	checked := 0
+	for seed := uint64(1); seed <= 60; seed++ {
+		g := testkit.NewGen(seed)
+		ds, err := g.WorkerDataset(g.R.IntRange(5, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := scoreSorted(g, ds)
+		k := g.R.IntRange(2, len(pool))
+		alpha := g.R.FloatRange(0.05, 0.25)
+		page, err := FairTopK(ds, 0, pool, k, Params{Alpha: alpha})
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		counts := poolCounts(ds, 0, pool)
+		tables := make([][]int, len(counts))
+		for gr, c := range counts {
+			if c == 0 {
+				continue
+			}
+			share := float64(c) / float64(len(pool))
+			tables[gr] = AdjustedMTable(len(page), share, alpha)
+		}
+		if err := testkit.CheckPrefixMinimums(pageCodes(ds, 0, page), tables); err != nil {
+			t.Fatalf("seed %d (k=%d alpha=%v): %v", seed, k, alpha, err)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d of 60 seeds were feasible", checked)
+	}
+}
+
+// Det* pages over pools with at most three present groups must satisfy
+// the floor/ceiling interval at every prefix — Geyik et al.'s feasible
+// range, checked against the brute-force oracle.
+func TestDetSatisfiesPrefixIntervals(t *testing.T) {
+	checked := 0
+	for seed := uint64(1); seed <= 120; seed++ {
+		g := testkit.NewGen(seed)
+		ds, err := g.WorkerDataset(g.R.IntRange(5, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := scoreSorted(g, ds)
+		counts := poolCounts(ds, 0, pool)
+		present := 0
+		for _, c := range counts {
+			if c > 0 {
+				present++
+			}
+		}
+		if present > 3 {
+			continue
+		}
+		k := g.R.IntRange(1, len(pool))
+		for _, name := range []string{"det-greedy", "det-cons", "det-relaxed"} {
+			page, err := Serve(nil, name, ds, 0, pool, k, Params{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if err := testkit.CheckPrefixIntervals(pageCodes(ds, 0, page), counts); err != nil {
+				t.Fatalf("seed %d %s (k=%d counts=%v): %v", seed, name, k, counts, err)
+			}
+		}
+		checked++
+	}
+	if checked < 40 {
+		t.Fatalf("only %d of 120 seeds had <=3 present groups", checked)
+	}
+}
+
+// Degenerate pools every re-ranker must handle: a single-group pool (the
+// page is the score order), all-equal scores (worker-index order breaks
+// ties), and k exceeding the pool (the page is the whole pool).
+func TestDegeneratePools(t *testing.T) {
+	g := testkit.NewGen(99)
+	ds, err := g.WorkerDataset(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := scoreSorted(g, ds)
+
+	t.Run("single group", func(t *testing.T) {
+		var sub []marketplace.RankedWorker
+		for _, rw := range pool {
+			if ds.Code(0, rw.Worker) == 0 {
+				sub = append(sub, rw)
+			}
+		}
+		if len(sub) < 3 {
+			t.Fatalf("seed population has only %d group-0 members", len(sub))
+		}
+		for _, name := range Rerankers() {
+			page, err := Serve(nil, name, ds, 0, sub, len(sub), Params{Epsilon: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i := range page {
+				if page[i].Worker != sub[i].Worker {
+					t.Fatalf("%s: single-group page deviates from score order at %d", name, i)
+				}
+			}
+		}
+	})
+
+	t.Run("all-equal scores", func(t *testing.T) {
+		flat := make([]marketplace.RankedWorker, len(pool))
+		for i, rw := range pool {
+			flat[i] = marketplace.RankedWorker{Worker: rw.Worker, Score: 0.5, Rank: i + 1}
+		}
+		for _, name := range Rerankers() {
+			a, err := Serve(nil, name, ds, 0, flat, 20, Params{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, err := Serve(nil, name, ds, 0, flat, 20, Params{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: tie-heavy page not deterministic at %d", name, i)
+				}
+			}
+		}
+	})
+
+	t.Run("k past the pool", func(t *testing.T) {
+		for _, name := range Rerankers() {
+			page, err := Serve(nil, name, ds, 0, pool, len(pool)+50, Params{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(page) != len(pool) {
+				t.Fatalf("%s: page size %d, want whole pool %d", name, len(page), len(pool))
+			}
+		}
+	})
+
+	t.Run("k zero selects whole pool", func(t *testing.T) {
+		for _, name := range Rerankers() {
+			page, err := Serve(nil, name, ds, 0, pool, 0, Params{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(page) != len(pool) {
+				t.Fatalf("%s: page size %d, want %d", name, len(page), len(pool))
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package rerank
+
+import (
+	"context"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/marketplace"
+	"fairrank/internal/scoring"
+	"fairrank/internal/simulate"
+)
+
+// overlapBiasedRanking ranks with a gender bias whose score ranges
+// overlap, so the disadvantaged group appears inside the page but
+// clustered at its bottom — the regime the within-page audit measures
+// (an entirely shut-out group is invisible to it; see AuditPage).
+func overlapBiasedRanking(t *testing.T, n int, seed uint64) (*dataset.Dataset, int, []marketplace.RankedWorker) {
+	t.Helper()
+	ds, err := simulate.PaperWorkers(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scoring.NewRuleFunc("overlap", seed, []scoring.Rule{
+		{When: scoring.AttrIs("Gender", "Male"), Lo: 0.3, Hi: 1.0},
+		{When: scoring.AttrIs("Gender", "Female"), Lo: 0.0, Hi: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, ds.Schema().ProtectedIndex("Gender"), marketplace.RankBy(ds, f, 0)
+}
+
+// The evaluation layer over a gender-biased population: every mitigating
+// re-ranker must be scored on both axes, the audit axis must separate
+// the unmitigated page from a mitigated one, and utility must stay a
+// valid NDCG.
+func TestEvaluateScoresBothAxes(t *testing.T) {
+	ds, attr, ranked := overlapBiasedRanking(t, 400, 21)
+	base, outcomes, err := Evaluate(context.Background(), ds, attr, ranked, 100, Params{Epsilon: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Algorithm != "" {
+		t.Fatalf("baseline algorithm = %q", base.Algorithm)
+	}
+	if base.Unfairness <= 0 {
+		t.Fatalf("biased baseline audited as fair: %v", base.Unfairness)
+	}
+	if len(outcomes) != len(Rerankers()) {
+		t.Fatalf("%d outcomes for %d re-rankers", len(outcomes), len(Rerankers()))
+	}
+	improved := 0
+	for _, o := range outcomes {
+		if o.NDCG <= 0 || o.NDCG > 1+1e-9 {
+			t.Errorf("%s: NDCG %v outside (0,1]", o.Algorithm, o.NDCG)
+		}
+		if o.Unfairness < 0 {
+			t.Errorf("%s: negative unfairness %v", o.Algorithm, o.Unfairness)
+		}
+		if o.Unfairness < base.Unfairness {
+			improved++
+		}
+	}
+	// The f6 population's top-100 is near-exclusively male; any working
+	// mitigation family must audit strictly fairer than that page.
+	if improved == 0 {
+		t.Fatalf("no re-ranker improved on baseline unfairness %v: %+v", base.Unfairness, outcomes)
+	}
+}
+
+// AuditPage input validation.
+func TestAuditPageValidation(t *testing.T) {
+	ds, _, ranked := biasedRanking(t, 50, 10, 22)
+	if _, err := AuditPage(context.Background(), ds, nil); err == nil {
+		t.Error("empty page accepted")
+	}
+	oob := append(ranked[:0:0], ranked[0])
+	oob[0].Worker = 9999
+	if _, err := AuditPage(context.Background(), ds, oob); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}

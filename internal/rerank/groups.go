@@ -1,0 +1,49 @@
+package rerank
+
+import (
+	"fmt"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/marketplace"
+)
+
+// candidate is one pool entry inside a per-group queue.
+type candidate struct {
+	worker int
+	score  float64
+}
+
+// splitPool validates the pool against ds and splits it into per-group
+// candidate queues indexed by the protected attribute's value code, each
+// sorted by descending score with worker index as the deterministic
+// tiebreak. Queues of absent groups are empty. Iterating queues by code
+// (0..cardinality-1) is the package's canonical deterministic group
+// order — no map iteration anywhere on a serving path.
+func splitPool(ds *dataset.Dataset, attr int, pool []marketplace.RankedWorker) ([][]candidate, error) {
+	if len(pool) == 0 {
+		return nil, errEmptyPool
+	}
+	if attr < 0 || attr >= len(ds.Schema().Protected) {
+		return nil, fmt.Errorf("rerank: protected attribute %d out of range", attr)
+	}
+	card := ds.Schema().Protected[attr].Cardinality()
+	queues := make([][]candidate, card)
+	for _, rw := range pool {
+		if rw.Worker < 0 || rw.Worker >= ds.N() {
+			return nil, fmt.Errorf("rerank: worker %d out of range", rw.Worker)
+		}
+		g := ds.Code(attr, rw.Worker)
+		queues[g] = append(queues[g], candidate{rw.Worker, rw.Score})
+	}
+	for g := range queues {
+		q := queues[g]
+		sort.SliceStable(q, func(a, b int) bool {
+			if q[a].score != q[b].score {
+				return q[a].score > q[b].score
+			}
+			return q[a].worker < q[b].worker
+		})
+	}
+	return queues, nil
+}

@@ -141,3 +141,44 @@ func TestExposureParityInvariant(t *testing.T) {
 		}
 	}
 }
+
+// Every registered re-ranker must be bit-for-bit deterministic: two
+// identical calls return identical pages, including over tie-heavy
+// score distributions where any reliance on map iteration order would
+// surface. Scores are quantized to three values so almost every
+// position is decided by tie-breaks alone.
+func TestAllRerankersDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 80; seed++ {
+		g := testkit.NewGen(seed)
+		ds, err := g.WorkerDataset(g.R.IntRange(3, 90))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := make([]marketplace.RankedWorker, ds.N())
+		for i := range pool {
+			pool[i] = marketplace.RankedWorker{Worker: i, Score: float64(g.R.Intn(3)) / 2}
+		}
+		sort.SliceStable(pool, func(a, b int) bool { return pool[a].Score > pool[b].Score })
+		for i := range pool {
+			pool[i].Rank = i + 1
+		}
+		k := g.R.IntRange(1, len(pool))
+		p := Params{Epsilon: g.R.Float64(), Alpha: g.R.FloatRange(0.05, 0.25)}
+		for _, name := range Rerankers() {
+			a, errA := Serve(nil, name, ds, 0, pool, k, p)
+			b, errB := Serve(nil, name, ds, 0, pool, k, p)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d %s: nondeterministic error: %v vs %v", seed, name, errA, errB)
+			}
+			if errA != nil {
+				continue // infeasible both times is deterministic too
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d %s: position %d differs: %+v vs %+v",
+						seed, name, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -1,9 +1,18 @@
-// Package rerank implements fairness-aware re-ranking: given a ranked
-// result page and a protected attribute, it re-orders candidates so that
-// the position-bias exposure each group receives approaches its share of
-// the candidate pool (demographic parity of exposure, after Singh &
-// Joachims' fairness-of-exposure, which the paper cites), while bounding
-// how much score may be sacrificed at any single position.
+// Package rerank implements serving-time fair re-ranking: given a ranked
+// candidate pool and a protected attribute, each registered re-ranker
+// re-orders candidates under a different fairness contract —
+//
+//   - "exposure-parity": the position-bias exposure each group receives
+//     approaches its share of the candidate pool (demographic parity of
+//     exposure, after Singh & Joachims' fairness-of-exposure, which the
+//     paper cites), while bounding the score sacrificed at any position;
+//   - "fair-topk": FA*IR (Zehlike et al.), every prefix of the page holds
+//     at least the significance-tested minimum count of each group, via
+//     binomial-CDF minimum-count tables with the multiple-testing-
+//     corrected significance adjustment;
+//   - "det-greedy" / "det-cons" / "det-relaxed": the LinkedIn Talent
+//     Search interval-constrained re-rankers (Geyik et al.), every prefix
+//     keeping each group's count within [floor(p·i), ceil(p·i)].
 //
 // Together with package repair this covers the paper's future work on
 // "repairing bias in the context of ranking": repair fixes the scores,
@@ -12,14 +21,15 @@ package rerank
 
 import (
 	"errors"
-	"fmt"
-	"sort"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/marketplace"
 )
 
-// Options configures the re-ranker.
+// errEmptyPool is shared by every re-ranker's pool validation.
+var errEmptyPool = errors.New("rerank: empty ranking")
+
+// Options configures the exposure-parity re-ranker.
 type Options struct {
 	// Epsilon is the maximum score a single position may sacrifice to
 	// improve exposure balance: at each rank the fairest eligible
@@ -29,50 +39,37 @@ type Options struct {
 	Epsilon float64
 }
 
+func init() {
+	Register("exposure-parity", func(ds *dataset.Dataset, attr int, pool []marketplace.RankedWorker, k int, p Params) ([]marketplace.RankedWorker, error) {
+		out, err := ExposureParity(ds, attr, pool, Options{Epsilon: p.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		return out[:pageSize(k, len(out))], nil
+	})
+}
+
 // ExposureParity re-ranks the given candidates. ranked must be the
 // candidates to place (e.g. a top-k page, or the full population); Worker
 // indices refer to rows of ds; attr is the protected attribute (by index
 // into ds.Schema().Protected) whose groups should receive proportional
-// exposure. The result has the same candidate set with fresh ranks.
+// exposure. The result has the same candidate set with fresh ranks, and
+// is deterministic: groups are always scanned in value-code order, so two
+// identical calls return identical pages even when scores tie.
 func ExposureParity(ds *dataset.Dataset, attr int, ranked []marketplace.RankedWorker, opts Options) ([]marketplace.RankedWorker, error) {
-	if len(ranked) == 0 {
-		return nil, errors.New("rerank: empty ranking")
-	}
-	if attr < 0 || attr >= len(ds.Schema().Protected) {
-		return nil, fmt.Errorf("rerank: protected attribute %d out of range", attr)
-	}
 	if opts.Epsilon < 0 {
 		return nil, errors.New("rerank: negative epsilon")
 	}
-
-	// Candidates per group, each sorted by descending score (stable by
-	// worker index) so the head of each list is its best candidate.
-	type candidate struct {
-		worker int
-		score  float64
+	groups, err := splitPool(ds, attr, ranked)
+	if err != nil {
+		return nil, err
 	}
-	groups := map[int][]candidate{}
-	share := map[int]float64{}
-	for _, rw := range ranked {
-		if rw.Worker < 0 || rw.Worker >= ds.N() {
-			return nil, fmt.Errorf("rerank: worker %d out of range", rw.Worker)
-		}
-		g := ds.Code(attr, rw.Worker)
-		groups[g] = append(groups[g], candidate{rw.Worker, rw.Score})
-		share[g]++
-	}
+	share := make([]float64, len(groups))
 	for g := range groups {
-		gs := groups[g]
-		sort.SliceStable(gs, func(a, b int) bool {
-			if gs[a].score != gs[b].score {
-				return gs[a].score > gs[b].score
-			}
-			return gs[a].worker < gs[b].worker
-		})
-		share[g] /= float64(len(ranked))
+		share[g] = float64(len(groups[g])) / float64(len(ranked))
 	}
 
-	exposure := map[int]float64{}
+	exposure := make([]float64, len(groups))
 	totalExposure := 0.0
 	out := make([]marketplace.RankedWorker, 0, len(ranked))
 	for pos := 1; len(out) < len(ranked); pos++ {
@@ -85,26 +82,27 @@ func ExposureParity(ds *dataset.Dataset, attr int, ranked []marketplace.RankedWo
 			}
 		}
 		// Most exposure-deprived group whose best candidate is eligible.
+		// pick is only dereferenced once a first eligible group set it,
+		// and the code-order scan makes every tie-break deterministic.
 		pick := -1
 		worstDeficit := 0.0
-		first := true
 		for g, gs := range groups {
-			if len(gs) == 0 {
+			if len(gs) == 0 || gs[0].score < bestScore-opts.Epsilon {
 				continue
 			}
 			deficit := share[g]*(totalExposure+bias) - exposure[g]
-			eligible := gs[0].score >= bestScore-opts.Epsilon
-			if eligible && (first || deficit > worstDeficit ||
-				(deficit == worstDeficit && gs[0].score > groups[pick][0].score)) {
-				pick = g
-				worstDeficit = deficit
-				first = false
+			switch {
+			case pick < 0:
+				pick, worstDeficit = g, deficit
+			case deficit > worstDeficit,
+				deficit == worstDeficit && gs[0].score > groups[pick][0].score:
+				pick, worstDeficit = g, deficit
 			}
 		}
 		if pick < 0 {
 			// No group eligible under epsilon (only possible when the
 			// deprived groups' candidates score too low): fall back to
-			// the best-scored group.
+			// the lowest-coded group holding the best remaining score.
 			for g, gs := range groups {
 				if len(gs) > 0 && gs[0].score == bestScore {
 					pick = g

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fairrank/internal/simulate"
+	"fairrank/internal/store"
+)
+
+// fuzzSrv is the shared fixture behind FuzzRankRequest: fuzz workers are
+// separate processes, so each builds one small server (a biased
+// population plus one posted task) on first use.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+	fuzzErr  error
+)
+
+func fuzzServer() (*Server, error) {
+	fuzzOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fairrank-fuzz-*")
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		db, err := store.Open(filepath.Join(dir, "fuzz.db"), store.Options{})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		s, err := New(db)
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		ds, err := simulate.SkewedWorkers(80, 7, simulate.Options{
+			SkillBias: 10, BiasAttr: "Language", BiasValue: "English",
+		})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		s.registerDataset("fuzz", ds)
+		raw, err := json.Marshal(taskSpec{
+			ID: "fuzz-task", Title: "fuzz", Dataset: "fuzz",
+			Weights: map[string]float64{"LanguageTest": 1},
+		})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		if err := s.db.Put(bucketTasks, "fuzz-task", raw); err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv, fuzzErr
+}
+
+// FuzzRankRequest drives the POST /v1/rank handler directly — below the
+// withRecovery middleware, so any panic surfaces as a crash — with
+// arbitrary JSON bodies. The contract for every input: no panic, and a
+// well-formed JSON response — a ranking payload with consecutive ranks
+// on 200, a non-empty error message otherwise. A 200 with an empty or
+// truncated body (the classic encode-after-WriteHeader failure, e.g. an
+// unencodable +Inf sneaking into a diagnostic field) fails here.
+func FuzzRankRequest(f *testing.F) {
+	f.Add([]byte(`{"task":"fuzz-task","k":5}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":10,"algorithm":"fair-topk","attribute":"Language"}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":10,"algorithm":"fair-topk","attribute":"Language","params":{"alpha":0.25},"audit":true}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":8,"algorithm":"det-greedy","attribute":"Gender"}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":8,"algorithm":"det-cons","attribute":"Country"}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":8,"algorithm":"det-relaxed","attribute":"Ethnicity"}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":200,"algorithm":"exposure-parity","attribute":"Language","params":{"epsilon":0.5}}`))
+	f.Add([]byte(`{"task":"fuzz-task","q":"translator","k":3}`))
+	f.Add([]byte(`{"task":"fuzz-task","k":-1}`))
+	f.Add([]byte(`{"task":"nope"}`))
+	f.Add([]byte(`{"task":"fuzz-task","algorithm":"nope","attribute":"Language"}`))
+	f.Add([]byte(`{"task":"fuzz-task","algorithm":"fair-topk","attribute":"LanguageTest"}`))
+	f.Add([]byte(`{"task":"fuzz-task","algorithm":"fair-topk","attribute":"Language","params":{"alpha":99}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"task":"fuzz-task","k":1e3}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s, err := fuzzServer()
+		if err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		req := httptest.NewRequest("POST", "/v1/rank", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.handleRankPost(rec, req)
+		resp := rec.Result()
+		defer resp.Body.Close()
+		if resp.StatusCode == 200 {
+			var out rankPostResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v\ninput: %q", rec.Body.Bytes(), err, body)
+			}
+			for i, e := range out.Ranking {
+				if e.Rank != i+1 {
+					t.Fatalf("position %d has rank %d\ninput: %q", i, e.Rank, body)
+				}
+			}
+			return
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatalf("status %d with undecodable body %q: %v\ninput: %q",
+				resp.StatusCode, rec.Body.Bytes(), err, body)
+		}
+		if apiErr.Error == "" {
+			t.Fatalf("status %d with empty error\ninput: %q", resp.StatusCode, body)
+		}
+	})
+}

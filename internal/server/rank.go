@@ -1,0 +1,198 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/marketplace"
+	"fairrank/internal/rerank"
+)
+
+// rankPostRequest is the POST /v1/rank body: the GET query parameters
+// plus a re-ranking algorithm selection. Algorithm "" serves the plain
+// score-ranked page, exactly like GET /v1/rank; any registered re-ranker
+// name (GET /v1/rerankers) re-ranks the task's full candidate pool and
+// serves the fairness-constrained page.
+type rankPostRequest struct {
+	Task string `json:"task"`
+	// Q optionally restricts the pool to a keyword query, as GET's q=.
+	Q string `json:"q,omitempty"`
+	// K is the page size; 0 selects the default (10), negative is an error.
+	K int `json:"k,omitempty"`
+	// Algorithm is a registered re-ranker name, or "" for no mitigation.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Attribute names the protected attribute whose groups the re-ranker
+	// balances; required whenever Algorithm is set.
+	Attribute string `json:"attribute,omitempty"`
+	// Params carries the per-algorithm knobs (epsilon, alpha).
+	Params rerank.Params `json:"params,omitempty"`
+	// Audit additionally runs the core engine over the before/after pages
+	// and reports both unfairness values. Costs an engine search per page.
+	Audit bool `json:"audit,omitempty"`
+}
+
+// rankPostResponse extends the GET ranking payload with the mitigation
+// diagnostics. Pointer fields appear only when a re-ranker ran (and the
+// unfairness pair only when audit was requested).
+type rankPostResponse struct {
+	Ranking   []rankedEntry `json:"ranking"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	// NDCG is the served page's utility against the score-optimal page.
+	NDCG *float64 `json:"ndcg,omitempty"`
+	// DisparityBefore/After are the page-level max/min group exposure
+	// ratios without and with the re-ranker. A disparity is omitted when
+	// it is infinite — some group received zero exposure on that page —
+	// since JSON has no encoding for it; an absent before with a present
+	// after means the re-ranker recovered a fully shut-out group.
+	DisparityBefore *float64 `json:"disparity_before,omitempty"`
+	DisparityAfter  *float64 `json:"disparity_after,omitempty"`
+	// UnfairnessBefore/After are the core engine's audit of both pages.
+	UnfairnessBefore *float64 `json:"unfairness_before,omitempty"`
+	UnfairnessAfter  *float64 `json:"unfairness_after,omitempty"`
+}
+
+// defaultPageSize matches GET /v1/rank's default k.
+const defaultPageSize = 10
+
+func (s *Server) handleRankPost(w http.ResponseWriter, r *http.Request) {
+	var req rankPostRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad rank json: %w", err))
+		return
+	}
+	if req.Task == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("task is required"))
+		return
+	}
+	if req.K < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %d", req.K))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = defaultPageSize
+	}
+	raw, ok := s.db.Get(bucketTasks, req.Task)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("task %q not found", req.Task))
+		return
+	}
+	var t taskSpec
+	if err := json.Unmarshal(raw, &t); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.RLock()
+	ds, ok := s.datasets[t.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", t.Dataset))
+		return
+	}
+	m, err := marketplace.New(ds)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := m.PostTask(marketplace.Task{ID: t.ID, Title: t.Title, Weights: t.Weights}); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Rank the whole (possibly query-filtered) pool, not just the page: a
+	// re-ranker must be able to promote candidates from beyond the top-k.
+	var pool []marketplace.RankedWorker
+	if req.Q != "" {
+		pool, err = m.RankQuery(t.ID, req.Q, 0)
+	} else {
+		pool, err = m.Rank(t.ID, 0)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if k > len(pool) {
+		k = len(pool)
+	}
+
+	if req.Algorithm == "" {
+		writeJSON(w, http.StatusOK, rankPostResponse{Ranking: entries(ds, pool[:k])})
+		return
+	}
+
+	attr := ds.Schema().ProtectedIndex(req.Attribute)
+	if attr < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%q is not a protected attribute", req.Attribute))
+		return
+	}
+	page, err := rerank.Serve(s.metrics, req.Algorithm, ds, attr, pool, k, req.Params)
+	switch {
+	case errors.Is(err, rerank.ErrInfeasible):
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	before := pool[:len(page)]
+
+	resp := rankPostResponse{Ranking: entries(ds, page), Algorithm: req.Algorithm}
+	relevance := make([]float64, ds.N())
+	for _, rw := range pool {
+		relevance[rw.Worker] = rw.Score
+	}
+	if ndcg, err := marketplace.NDCG(relevance, page); err == nil {
+		resp.NDCG = &ndcg
+	}
+	if exp, err := marketplace.GroupExposure(ds, attr, before); err == nil {
+		resp.DisparityBefore = finitePtr(marketplace.ExposureDisparity(exp))
+	}
+	if exp, err := marketplace.GroupExposure(ds, attr, page); err == nil {
+		resp.DisparityAfter = finitePtr(marketplace.ExposureDisparity(exp))
+	}
+	if req.Audit {
+		// The audit is restricted to the mitigated attribute: it answers
+		// "what did this re-ranker change", not "is the page fair along
+		// every protected column".
+		ub, err := rerank.AuditPage(r.Context(), ds, before, attr)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		ua, err := rerank.AuditPage(r.Context(), ds, page, attr)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.UnfairnessBefore = &ub
+		resp.UnfairnessAfter = &ua
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// finitePtr boxes v for an omitempty pointer field, dropping the
+// JSON-unencodable non-finite values.
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// entries renders a page as the wire ranking format shared with GET.
+func entries(ds *dataset.Dataset, page []marketplace.RankedWorker) []rankedEntry {
+	out := make([]rankedEntry, len(page))
+	for i, rw := range page {
+		out[i] = rankedEntry{Rank: rw.Rank, Worker: ds.ID(rw.Worker), Score: rw.Score}
+	}
+	return out
+}
+
+// handleRerankers lists the registered re-ranker names — the
+// authoritative validation set for rankPostRequest.Algorithm.
+func (s *Server) handleRerankers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rerank.Rerankers())
+}

@@ -19,6 +19,9 @@
 //	POST /v1/tasks                    post a task {id,title,dataset,weights}
 //	GET  /v1/tasks                    list tasks
 //	GET  /v1/rank?task=&k=&q=         ranked (optionally query-filtered) workers
+//	POST /v1/rank                     ranked page through a registered fair
+//	                                  re-ranker (see rankPostRequest)
+//	GET  /v1/rerankers                list registered re-ranker names
 //	GET  /v1/algorithms               list registered audit algorithms
 //	POST /v1/audits                   run an audit synchronously (see auditRequest)
 //	GET  /v1/audits                   list stored audit results
@@ -149,8 +152,10 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 		o(s)
 	}
 	// Engine series appear on /metrics from boot, not after the first
-	// audit request creates an evaluator.
+	// audit request creates an evaluator; same for the re-rank serving
+	// series behind POST /v1/rank.
 	core.PreregisterMetrics(s.metrics)
+	rerank.PreregisterMetrics(s.metrics)
 	snaps, err := store.NewSnapshots(db, db.Path()+".snapshots")
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot store: %w", err)
@@ -270,6 +275,8 @@ func (s *Server) Handler() http.Handler {
 	handleFunc("GET /v1/tasks", s.handleListTasks)
 	handleFunc("DELETE /v1/tasks/{id}", s.handleDeleteTask)
 	handleFunc("GET /v1/rank", s.handleRank)
+	handleFunc("POST /v1/rank", s.handleRankPost)
+	handleFunc("GET /v1/rerankers", s.handleRerankers)
 	handleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	handle("POST /v1/audits", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleRunAudit)))
 	handleFunc("GET /v1/audits", s.handleListAudits)

@@ -139,6 +139,41 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Value()
 }
 
+// Quantile returns a conservative upper bound for the q-quantile of the
+// observed distribution: the smallest bucket upper bound whose
+// cumulative count reaches q of the total. This is what latency gates
+// assert against ("p99 under budget"): the true quantile can only be
+// lower than the bound, so a passing gate is trustworthy at bucket
+// resolution. Returns 0 for an empty (or nil) histogram, +Inf when the
+// quantile falls in the implicit +Inf bucket; q is clamped to [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	switch {
+	case math.IsNaN(q) || q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
 // ExpBuckets returns n exponentially growing upper bounds starting at
 // start (start, start·factor, start·factor², …): the standard layout
 // for latency histograms spanning several orders of magnitude.

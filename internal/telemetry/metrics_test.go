@@ -211,3 +211,46 @@ func TestSnapshotJSONAndExpvar(t *testing.T) {
 		t.Fatalf("expvar snapshot = %+v", viaExpvar)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 0.2, 0.4, 0.8})
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 100 observations: 50 in (≤0.1], 40 in (0.1,0.2], 9 in (0.2,0.4],
+	// 1 beyond the last bound.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.15)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.3)
+	}
+	h.Observe(5)
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0.1},    // clamped to the first observation's bucket
+		{0.5, 0.1},  // 50th observation is still in the first bucket
+		{0.51, 0.2}, // 51st spills into the second
+		{0.9, 0.2},
+		{0.99, 0.4},
+		{1, math.Inf(1)}, // the max landed past the last bound
+		{2, math.Inf(1)}, // clamped down to 1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(math.NaN()); got != 0.1 {
+		t.Errorf("Quantile(NaN) = %v, want clamp to 0.1", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.99) != 0 {
+		t.Fatal("nil histogram Quantile must be 0")
+	}
+}

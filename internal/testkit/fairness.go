@@ -1,0 +1,185 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fair re-ranking oracles: slow, obviously-correct counterparts of
+// internal/rerank's FA*IR minimum-count tables and the Det* prefix
+// interval constraints, written from the definitions with none of the
+// engine's incremental tricks.
+
+// BinomialPMF is the literal binomial probability P(X = c) for X ~
+// Bin(n, p), computed by multiplying the n factors of C(n,c)·p^c·(1-p)^
+// (n-c) one at a time — no closed forms, no incremental reuse across
+// prefix lengths.
+func (Oracle) BinomialPMF(n, c int, p float64) float64 {
+	if c < 0 || c > n {
+		return 0
+	}
+	// Interleave the C(n,c) ratio factors with the probability powers so
+	// intermediates stay near 1 even for large n.
+	out := 1.0
+	for i := 0; i < c; i++ {
+		out *= float64(n-i) / float64(c-i) * p
+	}
+	for i := 0; i < n-c; i++ {
+		out *= 1 - p
+	}
+	return out
+}
+
+// BinomialCDF is P(X <= m) for X ~ Bin(n, p), summing BinomialPMF terms.
+func (o Oracle) BinomialCDF(m, n int, p float64) float64 {
+	cdf := 0.0
+	for c := 0; c <= m && c <= n; c++ {
+		cdf += o.BinomialPMF(n, c, p)
+	}
+	return cdf
+}
+
+// FairTopKTable is the reference FA*IR minimum-count table: entry i
+// (1-based; entry 0 is 0) is the smallest m with F(m; i, p) > alpha,
+// found by scanning m upward from zero at every prefix length
+// independently. This is rerank.MTable restated without the incremental
+// distribution maintenance.
+func (o Oracle) FairTopKTable(k int, p, alpha float64) []int {
+	tbl := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		m := 0
+		for m <= i && o.BinomialCDF(m, i, p) <= alpha {
+			m++
+		}
+		tbl[i] = m
+	}
+	return tbl
+}
+
+// FairFailProb is the exhaustive family-wise rejection probability of a
+// minimum-count table: it enumerates every Bernoulli(p) outcome sequence
+// of length len(table)-1 (so keep k small — 2^k sequences) and sums the
+// probability of those violating the table at any prefix. The reference
+// for rerank.FailureProb's dynamic program.
+func (Oracle) FairFailProb(p float64, table []int) float64 {
+	k := len(table) - 1
+	fail := 0.0
+	for bits := 0; bits < 1<<k; bits++ {
+		prob := 1.0
+		count := 0
+		violated := false
+		for i := 1; i <= k; i++ {
+			if bits>>(i-1)&1 == 1 {
+				count++
+				prob *= p
+			} else {
+				prob *= 1 - p
+			}
+			if count < table[i] {
+				violated = true
+			}
+		}
+		if violated {
+			fail += prob
+		}
+	}
+	return fail
+}
+
+// CheckPrefixIntervals brute-force checks the Det* feasibility contract:
+// page is the re-ranked page as a sequence of group codes, poolCounts the
+// per-group candidate counts of the pool it was drawn from. For every
+// prefix length i and every group g, the number of g-members in the
+// prefix must lie within [floor(p_g·i), ceil(p_g·i)] with p_g the pool
+// share. Returns a descriptive error at the first violation.
+func CheckPrefixIntervals(page []int, poolCounts []int) error {
+	n := 0
+	for _, c := range poolCounts {
+		n += c
+	}
+	if n == 0 {
+		return fmt.Errorf("testkit: empty pool")
+	}
+	counts := make([]int, len(poolCounts))
+	for i, g := range page {
+		if g < 0 || g >= len(poolCounts) {
+			return fmt.Errorf("testkit: position %d has group %d outside the pool's %d groups", i+1, g, len(poolCounts))
+		}
+		counts[g]++
+		for h, c := range counts {
+			share := float64(poolCounts[h]) / float64(n)
+			lo := int(math.Floor(share * float64(i+1) * (1 + 1e-12)))
+			hi := int(math.Ceil(share * float64(i+1) * (1 - 1e-12)))
+			if c < lo {
+				return fmt.Errorf("testkit: prefix %d holds %d of group %d, floor(%v·%d) = %d",
+					i+1, c, h, share, i+1, lo)
+			}
+			if c > hi {
+				return fmt.Errorf("testkit: prefix %d holds %d of group %d, ceil(%v·%d) = %d",
+					i+1, c, h, share, i+1, hi)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPrefixMinimums checks a page (as group codes) against per-group
+// minimum-count tables: prefix i must hold at least tables[g][i] members
+// of every group g with a table (nil tables are unconstrained). The
+// FA*IR half of the prefix checks, shared by differential tests.
+func CheckPrefixMinimums(page []int, tables [][]int) error {
+	counts := make([]int, len(tables))
+	for i, g := range page {
+		if g < 0 || g >= len(tables) {
+			return fmt.Errorf("testkit: position %d has group %d outside %d groups", i+1, g, len(tables))
+		}
+		counts[g]++
+		for h, tbl := range tables {
+			if tbl == nil {
+				continue
+			}
+			if i+1 >= len(tbl) {
+				return fmt.Errorf("testkit: table for group %d shorter than page", h)
+			}
+			if counts[h] < tbl[i+1] {
+				return fmt.Errorf("testkit: prefix %d holds %d of group %d, table requires %d",
+					i+1, counts[h], h, tbl[i+1])
+			}
+		}
+	}
+	return nil
+}
+
+// BestNDCGOrder exhaustively searches every permutation of the given
+// relevance values (keep them few — n! orders) for the one maximizing
+// discounted cumulative gain with the standard 1/log2(rank+1) discount,
+// returning that maximum DCG. The reference against which "the
+// score-sorted page is NDCG-optimal" is pinned.
+func (Oracle) BestNDCGOrder(relevance []float64) float64 {
+	n := len(relevance)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(-1)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			dcg := 0.0
+			for pos, idx := range perm {
+				dcg += relevance[idx] / math.Log2(float64(pos)+2)
+			}
+			if dcg > best {
+				best = dcg
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			walk(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	walk(0)
+	return best
+}
