@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 7
 
-.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot bench-rerank telemetry-overhead verify fuzz-smoke cover
+.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot bench-rerank bench-cluster telemetry-overhead verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,25 @@ bench-rerank:
 	$(GO) run ./cmd/benchdiff -baseline 'path=direct' -candidate 'algo=exposure-parity/path=registry' -max-overhead 5 < /tmp/rerank-bench.txt
 	$(GO) run ./cmd/benchjson -algo balanced -out BENCH_8.json < /tmp/rerank-bench.txt
 
+# bench-cluster is the CI gate for the cluster subsystem (DESIGN.md §12)
+# and emits BENCH_9.json. Three cells per round: cluster=off (the
+# pre-cluster single-node submit+drain path), cluster=solo (identical
+# workload with the cluster layer enabled but zero peers — heartbeat
+# loop, ring of one, placement checks all live), and cluster=three (a
+# 3-node in-process cluster draining a backlog pinned to one node via
+# work-stealing; reports the steal-latency histogram). The benchdiff
+# gate holds cluster=solo within 5% of cluster=off: clustering compiled
+# in but not in use must be (nearly) free. BENCHCOUNT separate short
+# rounds, per-round pairing rationale as in telemetry-overhead below.
+bench-cluster:
+	@rm -f /tmp/cluster-bench.txt
+	@for i in $$(seq $(BENCHCOUNT)); do \
+		$(GO) test -run '^$$' -bench 'BenchmarkClusterJobs$$' -benchtime 100x -count 1 ./internal/server/ >> /tmp/cluster-bench.txt || exit 1; \
+	done
+	@grep ns/op /tmp/cluster-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'cluster=off' -candidate 'cluster=solo' -max-overhead 5 < /tmp/cluster-bench.txt
+	$(GO) run ./cmd/benchjson -algo balanced -out BENCH_9.json < /tmp/cluster-bench.txt
+
 # telemetry-overhead is the CI gate for the observability layer: the
 # always-on metrics path (what fairserve enables per request) must stay
 # within 5% of the uninstrumented baseline, and the opt-in span-tracing
@@ -147,6 +166,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPrometheus$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzJobSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/jobs/
 	$(GO) test -run '^$$' -fuzz '^FuzzRankRequest$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzClusterMessage$$' -fuzztime $(FUZZTIME) ./internal/cluster/
 
 # cover writes a module-wide coverage profile (uploaded as a CI artifact).
 cover:

@@ -7,6 +7,11 @@
 //	fairserve -addr :8080 -db fairrank.db
 //	fairserve -addr :8080 -db fairrank.db -bootstrap 500   # preload a demo population
 //
+// Clustered (every node lists every other node; see TUTORIAL.md §14):
+//
+//	fairserve -addr :8080 -db a.db -node-id node-a -advertise http://127.0.0.1:8080 \
+//	    -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
 // Then:
 //
 //	curl localhost:8080/healthz
@@ -23,9 +28,11 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"fairrank/internal/cluster"
 	"fairrank/internal/server"
 	"fairrank/internal/simulate"
 	"fairrank/internal/store"
@@ -60,6 +67,9 @@ func main() {
 		jobWorkers = flag.Int("job-workers", 2, "async audit job worker pool size")
 		jobQueue   = flag.Int("job-queue", 64, "maximum queued+running async jobs (excess get 429)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests and jobs")
+		nodeID     = flag.String("node-id", "", "stable cluster node name (required with -peers)")
+		advertise  = flag.String("advertise", "", "base URL peers reach this node at, e.g. http://10.0.0.1:8080 (required with -peers)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs; enables cluster mode")
 	)
 	flag.Parse()
 
@@ -95,6 +105,26 @@ func main() {
 	srv, err := server.New(db, srvOpts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *peers != "" {
+		if *nodeID == "" || *advertise == "" {
+			log.Fatal("-peers requires both -node-id and -advertise")
+		}
+		var peerURLs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerURLs = append(peerURLs, p)
+			}
+		}
+		if err := srv.EnableCluster(cluster.Config{
+			Self:   *advertise,
+			NodeID: *nodeID,
+			Peers:  peerURLs,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster mode: node %s advertising %s with %d peers", *nodeID, *advertise, len(peerURLs))
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops admission (the

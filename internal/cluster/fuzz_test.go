@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzClusterMessage drives every peer-protocol decoder with one input.
+// The decoders must never panic, and anything they accept must satisfy
+// the protocol bounds — the properties the strict decoding exists to
+// enforce. Seed corpus lives in testdata/fuzz/FuzzClusterMessage;
+// `make fuzz-smoke` runs this briefly on every CI pass.
+func FuzzClusterMessage(f *testing.F) {
+	seeds := []string{
+		`{"node_id":"n1","epoch":3,"queued":2,"running":1,"claimed":0,"datasets":["demo"]}`,
+		`{"thief":"n2","max":8,"datasets":["demo","other"]}`,
+		`{"claims":[{"token":"t1","job_id":"job-1","spec_hash":"abc","spec":{"dataset":"demo","algorithm":"exact"}}]}`,
+		`{"thief":"n2","tokens":["t1","t2"]}`,
+		`{}`,
+		`{"node_id":"n1"} trailing`,
+		`{"node_id":"` + strings.Repeat("x", 200) + `"}`,
+		`{"claims":[{"token":"t","job_id":"j","spec_hash":"h","spec":null}]}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"thief":"n2","max":-5}`,
+		`{"node_id":"n1","queued":-1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := DecodePing(data); err == nil {
+			if p.NodeID == "" || len(p.NodeID) > maxWireNodeID {
+				t.Fatalf("accepted ping with bad node_id %q", p.NodeID)
+			}
+			if p.Queued < 0 || p.Running < 0 || p.Claimed < 0 {
+				t.Fatalf("accepted ping with negative depth: %+v", p)
+			}
+			if len(p.Datasets) > maxWireDatasets {
+				t.Fatalf("accepted ping with %d datasets", len(p.Datasets))
+			}
+		}
+		if req, err := DecodeStealRequest(data); err == nil {
+			if req.Thief == "" || req.Max < 1 || req.Max > maxWireBatch {
+				t.Fatalf("accepted bad steal request: %+v", req)
+			}
+		}
+		if resp, err := DecodeStealResponse(data); err == nil {
+			if len(resp.Claims) > maxWireBatch {
+				t.Fatalf("accepted %d claims", len(resp.Claims))
+			}
+			for _, c := range resp.Claims {
+				if c.Token == "" || len(c.Spec) == 0 || len(c.Spec) > maxWireSpec {
+					t.Fatalf("accepted bad claim: %+v", c)
+				}
+				// Raw specs must stay re-serializable as-is.
+				if !json.Valid(c.Spec) {
+					t.Fatalf("accepted claim with invalid raw spec: %s", c.Spec)
+				}
+			}
+		}
+		if ack, err := DecodeAckRequest(data); err == nil {
+			if ack.Thief == "" || len(ack.Tokens) == 0 || len(ack.Tokens) > maxWireBatch {
+				t.Fatalf("accepted bad ack: %+v", ack)
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+// The peer protocol: the JSON bodies exchanged on /v1/cluster/* routes.
+// Every inbound message goes through a strict decoder — unknown fields,
+// trailing data, and out-of-bounds values are rejected — because peers
+// are just HTTP clients and a half-upgraded or confused node must fail
+// loudly, not be half-understood. FuzzClusterMessage drives these
+// decoders in fuzz_test.go.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Forwarding-loop guards. A node forwarding a job to its ring owner
+// stamps HeaderForwarded with its node ID; a receiving node never
+// re-forwards a stamped submission, so divergent ring views during a
+// membership change bound at one hop instead of looping. HeaderScatter
+// marks scatter-gather fan-out reads the same way: a stamped GET is
+// answered from local state only.
+const (
+	HeaderForwarded = "X-Fairrank-Forwarded"
+	HeaderScatter   = "X-Fairrank-Scatter"
+)
+
+// Wire bounds. These are protocol limits, not tuning knobs: a message
+// that exceeds them is malformed by definition.
+const (
+	// MaxMessageBytes bounds any /v1/cluster/* request or response body.
+	MaxMessageBytes = 8 << 20
+	// maxWireNodeID bounds node identifiers.
+	maxWireNodeID = 128
+	// maxWireDatasets bounds the dataset inventory in pings and steals.
+	maxWireDatasets = 4096
+	// maxWireName bounds one dataset name.
+	maxWireName = 256
+	// maxWireBatch bounds claims per steal and tokens per ack. It matches
+	// jobs.MaxStealBatch with headroom so the two can evolve separately.
+	maxWireBatch = 1024
+	// maxWireToken bounds one claim token.
+	maxWireToken = 256
+	// maxWireSpec bounds one embedded job spec (matches the server's job
+	// body limit).
+	maxWireSpec = 1 << 20
+)
+
+// PingStatus is the heartbeat body: GET /v1/cluster/ping. It doubles as
+// the peer's advertisement — queue depth feeds the work-stealing policy
+// and the dataset inventory feeds placement eligibility and hydration.
+type PingStatus struct {
+	NodeID   string   `json:"node_id"`
+	Epoch    uint64   `json:"epoch"`
+	Queued   int      `json:"queued"`
+	Running  int      `json:"running"`
+	Claimed  int      `json:"claimed"`
+	Datasets []string `json:"datasets,omitempty"`
+}
+
+// StealRequest asks a loaded peer to hand over up to Max queued jobs:
+// POST /v1/cluster/steal. Datasets is the thief's inventory — the
+// victim only releases jobs the thief can actually resolve.
+type StealRequest struct {
+	Thief    string   `json:"thief"`
+	Max      int      `json:"max"`
+	Datasets []string `json:"datasets,omitempty"`
+}
+
+// StealClaim is one job handed over pending ack. Spec stays raw: the
+// thief re-submits it through its own strict jobs.DecodeSpec, and the
+// cluster layer never needs to look inside.
+type StealClaim struct {
+	Token    string          `json:"token"`
+	JobID    string          `json:"job_id"`
+	SpecHash string          `json:"spec_hash"`
+	Spec     json.RawMessage `json:"spec"`
+}
+
+// StealResponse is the victim's answer: zero or more claims.
+type StealResponse struct {
+	Claims []StealClaim `json:"claims,omitempty"`
+}
+
+// AckRequest finalizes a steal handoff after the thief has enqueued the
+// jobs locally: POST /v1/cluster/ack.
+type AckRequest struct {
+	Thief  string   `json:"thief"`
+	Tokens []string `json:"tokens"`
+}
+
+// AckResponse reports how many claims the ack actually finalized (late
+// acks against expired claims finalize nothing, harmlessly).
+type AckResponse struct {
+	Acked int `json:"acked"`
+}
+
+// decodeStrict unmarshals one JSON value into v, rejecting unknown
+// fields and trailing data.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("cluster: trailing data after message")
+	}
+	return nil
+}
+
+func checkNodeID(field, id string) error {
+	if id == "" {
+		return fmt.Errorf("cluster: %s is required", field)
+	}
+	if len(id) > maxWireNodeID {
+		return fmt.Errorf("cluster: %s exceeds %d bytes", field, maxWireNodeID)
+	}
+	return nil
+}
+
+func checkDatasets(names []string) error {
+	if len(names) > maxWireDatasets {
+		return fmt.Errorf("cluster: %d dataset names exceeds %d", len(names), maxWireDatasets)
+	}
+	for _, n := range names {
+		if n == "" || len(n) > maxWireName {
+			return fmt.Errorf("cluster: bad dataset name %q", n)
+		}
+	}
+	return nil
+}
+
+// DecodePing parses and validates a heartbeat body.
+func DecodePing(data []byte) (PingStatus, error) {
+	var p PingStatus
+	if err := decodeStrict(data, &p); err != nil {
+		return PingStatus{}, fmt.Errorf("cluster: bad ping: %w", err)
+	}
+	if err := checkNodeID("node_id", p.NodeID); err != nil {
+		return PingStatus{}, err
+	}
+	if p.Queued < 0 || p.Running < 0 || p.Claimed < 0 {
+		return PingStatus{}, errors.New("cluster: negative depth in ping")
+	}
+	if err := checkDatasets(p.Datasets); err != nil {
+		return PingStatus{}, err
+	}
+	return p, nil
+}
+
+// DecodeStealRequest parses and validates a steal request.
+func DecodeStealRequest(data []byte) (StealRequest, error) {
+	var req StealRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return StealRequest{}, fmt.Errorf("cluster: bad steal request: %w", err)
+	}
+	if err := checkNodeID("thief", req.Thief); err != nil {
+		return StealRequest{}, err
+	}
+	if req.Max < 1 || req.Max > maxWireBatch {
+		return StealRequest{}, fmt.Errorf("cluster: steal max %d outside [1, %d]", req.Max, maxWireBatch)
+	}
+	if err := checkDatasets(req.Datasets); err != nil {
+		return StealRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeStealResponse parses and validates a victim's claim batch.
+func DecodeStealResponse(data []byte) (StealResponse, error) {
+	var resp StealResponse
+	if err := decodeStrict(data, &resp); err != nil {
+		return StealResponse{}, fmt.Errorf("cluster: bad steal response: %w", err)
+	}
+	if len(resp.Claims) > maxWireBatch {
+		return StealResponse{}, fmt.Errorf("cluster: %d claims exceeds %d", len(resp.Claims), maxWireBatch)
+	}
+	for i, c := range resp.Claims {
+		if c.Token == "" || len(c.Token) > maxWireToken {
+			return StealResponse{}, fmt.Errorf("cluster: claim %d has bad token", i)
+		}
+		if c.SpecHash == "" || len(c.SpecHash) > maxWireToken {
+			return StealResponse{}, fmt.Errorf("cluster: claim %d has bad spec hash", i)
+		}
+		if len(c.Spec) == 0 || len(c.Spec) > maxWireSpec {
+			return StealResponse{}, fmt.Errorf("cluster: claim %d has bad spec (%d bytes)", i, len(c.Spec))
+		}
+	}
+	return resp, nil
+}
+
+// DecodeAckRequest parses and validates a steal ack.
+func DecodeAckRequest(data []byte) (AckRequest, error) {
+	var req AckRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return AckRequest{}, fmt.Errorf("cluster: bad ack: %w", err)
+	}
+	if err := checkNodeID("thief", req.Thief); err != nil {
+		return AckRequest{}, err
+	}
+	if len(req.Tokens) == 0 || len(req.Tokens) > maxWireBatch {
+		return AckRequest{}, fmt.Errorf("cluster: %d tokens outside [1, %d]", len(req.Tokens), maxWireBatch)
+	}
+	for _, tok := range req.Tokens {
+		if tok == "" || len(tok) > maxWireToken {
+			return AckRequest{}, fmt.Errorf("cluster: bad token %q", tok)
+		}
+	}
+	return req, nil
+}

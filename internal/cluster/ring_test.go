@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestRingDeterministic: every node building a ring over the same
+// membership must get byte-identical placement, regardless of the
+// order (or duplication) of the input list.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"node-a", "node-b", "node-c"})
+	b := newRing([]string{"node-c", "node-a", "node-b", "node-a", ""})
+	if fmt.Sprint(a.nodes()) != fmt.Sprint(b.nodes()) {
+		t.Fatalf("memberships differ: %v vs %v", a.nodes(), b.nodes())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("spec-hash-%d", i)
+		if ao, bo := a.owner(key), b.owner(key); ao != bo {
+			t.Fatalf("key %q: owner %q vs %q", key, ao, bo)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := newRing(nil)
+	if got := empty.owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if n := len(empty.share()); n != 0 {
+		t.Fatalf("empty ring share has %d entries", n)
+	}
+	solo := newRing([]string{"only"})
+	for i := 0; i < 100; i++ {
+		if got := solo.owner(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+	if s := solo.share()["only"]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("single-node share = %v, want 1", s)
+	}
+}
+
+// TestRingBalance: with 64 vnodes per node, a 3-node ring should split
+// both the measured keyspace share and an empirical key sample roughly
+// evenly — no node starved or dominant.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"node-a", "node-b", "node-c"}
+	r := newRing(nodes)
+	share := r.share()
+	var sum float64
+	for _, id := range nodes {
+		s := share[id]
+		sum += s
+		if s < 0.15 || s > 0.55 {
+			t.Errorf("node %s keyspace share %.3f outside [0.15, 0.55]", id, s)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("job-spec-%d", i))]++
+	}
+	for _, id := range nodes {
+		frac := float64(counts[id]) / keys
+		if math.Abs(frac-share[id]) > 0.05 {
+			t.Errorf("node %s: empirical %.3f vs share %.3f", id, frac, share[id])
+		}
+	}
+}
+
+// TestRingStability: removing one node from a 4-node ring must only
+// move keys that the departed node owned — consistent hashing's whole
+// point. Keys owned by surviving nodes stay put.
+func TestRingStability(t *testing.T) {
+	before := newRing([]string{"node-a", "node-b", "node-c", "node-d"})
+	after := newRing([]string{"node-a", "node-b", "node-c"})
+	moved, kept, orphaned := 0, 0, 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, oa := before.owner(key), after.owner(key)
+		switch {
+		case ob == "node-d":
+			orphaned++
+			if oa == "node-d" {
+				t.Fatalf("key %q still owned by departed node", key)
+			}
+		case ob == oa:
+			kept++
+		default:
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving nodes (kept %d, orphaned %d)", moved, kept, orphaned)
+	}
+	if orphaned == 0 {
+		t.Fatal("departed node owned zero keys; balance test should have caught this")
+	}
+}

@@ -29,12 +29,15 @@ const (
 	StateFailed State = "failed"
 	// StateCanceled means the job was canceled before completing.
 	StateCanceled State = "canceled"
+	// StateStolen means a work-stealing peer claimed and acked the job;
+	// it runs there under the peer's own job ID. Error records the thief.
+	StateStolen State = "stolen"
 )
 
 // Terminal reports whether the state is final: terminal jobs never change
 // again and their event streams are closed.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateStolen
 }
 
 // Job is one managed audit. The exported fields are the persisted record
@@ -82,6 +85,9 @@ type Job struct {
 	userCanceled bool               // Cancel was called mid-run
 	retryTimer   *time.Timer        // set while parked in a backoff window
 	notBefore    time.Time          // end of the backoff window
+	claimToken   string             // set while parked under a steal claim
+	claimedBy    string             // thief node that holds the claim
+	claimTimer   *time.Timer        // claim-expiry requeue timer
 }
 
 // snapshot returns the API/persistence view of the job: a value copy with
@@ -93,5 +99,8 @@ func (j *Job) snapshot() Job {
 	c.userCanceled = false
 	c.retryTimer = nil
 	c.notBefore = time.Time{}
+	c.claimToken = ""
+	c.claimedBy = ""
+	c.claimTimer = nil
 	return c
 }

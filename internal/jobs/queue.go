@@ -112,6 +112,7 @@ type Queue struct {
 	jobs     map[string]*Job
 	active   map[string]*Job // spec hash → non-terminal job (dedup)
 	results  map[string]resultEntry
+	claims   map[string]*Job // steal-claim token → parked job (steal.go)
 	ready    jobHeap
 	queuedN  int // jobs in StateQueued (heaped or in backoff)
 	runningN int
@@ -169,6 +170,7 @@ func New(db *store.DB, exec Executor, opts Options) (*Queue, error) {
 		jobs:       map[string]*Job{},
 		active:     map[string]*Job{},
 		results:    map[string]resultEntry{},
+		claims:     map[string]*Job{},
 		jitter:     rng.New(seed),
 	}
 	q.cond = sync.NewCond(&q.mu)
@@ -565,6 +567,7 @@ func (q *Queue) observeRun(start time.Time) {
 
 // finishLocked applies a terminal transition. Caller holds q.mu.
 func (q *Queue) finishLocked(j *Job, state State, errMsg string, result []byte) {
+	q.clearClaimLocked(j)
 	switch j.State {
 	case StateQueued:
 		q.queuedN--
@@ -588,6 +591,8 @@ func (q *Queue) finishLocked(j *Job, state State, errMsg string, result []byte) 
 		inc(q.met.failed)
 	case StateCanceled:
 		inc(q.met.canceled)
+	case StateStolen:
+		inc(q.met.stolen)
 	}
 	q.syncDepth()
 	q.persist(j.snapshot())
@@ -640,6 +645,7 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 			j.retryTimer.Stop()
 			j.retryTimer = nil
 		}
+		q.clearClaimLocked(j)
 	}
 	q.cond.Broadcast()
 	q.mu.Unlock()
@@ -672,6 +678,7 @@ func (q *Queue) Kill() {
 			j.retryTimer.Stop()
 			j.retryTimer = nil
 		}
+		q.clearClaimLocked(j)
 	}
 	q.cond.Broadcast()
 	q.mu.Unlock()

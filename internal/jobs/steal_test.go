@@ -1,0 +1,211 @@
+package jobs
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// drainQueue returns a queue whose workers never start, so submitted
+// jobs sit in the ready heap — the victim side of a steal.
+func drainQueue(t *testing.T) *Queue {
+	t.Helper()
+	return newTestQueue(t, deterministicExec, Options{Workers: -1})
+}
+
+func TestStealClaimAck(t *testing.T) {
+	q := drainQueue(t)
+	var ids []string
+	for _, key := range []string{"a", "b", "c"} {
+		j, created, err := q.Submit(testSpec(key), "h-"+key)
+		if err != nil || !created {
+			t.Fatalf("Submit(%s) = (%v, %v)", key, created, err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	claims := q.ClaimQueued(10, nil, "node-b", time.Minute)
+	if len(claims) != 3 {
+		t.Fatalf("ClaimQueued = %d claims, want 3", len(claims))
+	}
+	if got := q.Claimed(); got != 3 {
+		t.Fatalf("Claimed = %d, want 3", got)
+	}
+	seen := map[string]bool{}
+	var tokens []string
+	for _, c := range claims {
+		if c.Token == "" || seen[c.Token] {
+			t.Fatalf("claim token %q empty or duplicated", c.Token)
+		}
+		seen[c.Token] = true
+		if c.SpecHash == "" || c.Spec.Dataset == "" {
+			t.Fatalf("claim carries incomplete job: %+v", c)
+		}
+		tokens = append(tokens, c.Token)
+	}
+	// Claimed jobs are parked: still queued in the API view, but no
+	// longer claimable by another thief.
+	if extra := q.ClaimQueued(10, nil, "node-c", time.Minute); len(extra) != 0 {
+		t.Fatalf("second thief claimed %d parked jobs", len(extra))
+	}
+
+	if n := q.AckClaims(tokens); n != 3 {
+		t.Fatalf("AckClaims = %d, want 3", n)
+	}
+	for _, id := range ids {
+		j, ok := q.Get(id)
+		if !ok || j.State != StateStolen {
+			t.Fatalf("job %s state = %q, want stolen", id, j.State)
+		}
+		if !j.State.Terminal() {
+			t.Fatalf("stolen is not terminal")
+		}
+		if j.Error != "stolen by node-b" {
+			t.Fatalf("stolen job error = %q", j.Error)
+		}
+	}
+	if queued, _ := q.Depth(); queued != 0 {
+		t.Fatalf("queued depth = %d after ack, want 0", queued)
+	}
+	if got := q.Claimed(); got != 0 {
+		t.Fatalf("Claimed = %d after ack, want 0", got)
+	}
+	// Acking again is a no-op, not an error.
+	if n := q.AckClaims(tokens); n != 0 {
+		t.Fatalf("re-AckClaims = %d, want 0", n)
+	}
+}
+
+func TestStealClaimExpiryRequeues(t *testing.T) {
+	q := drainQueue(t)
+	j, _, err := q.Submit(testSpec("exp"), "h-exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := q.ClaimQueued(1, nil, "node-b", 10*time.Millisecond)
+	if len(claims) != 1 {
+		t.Fatalf("ClaimQueued = %d, want 1", len(claims))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Claimed() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("claim never expired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StateQueued {
+		t.Fatalf("expired claim left job in %q, want queued", got.State)
+	}
+	// The job is back on the heap and claimable again.
+	again := q.ClaimQueued(1, nil, "node-c", time.Minute)
+	if len(again) != 1 || again[0].JobID != j.ID {
+		t.Fatalf("re-claim after expiry = %+v", again)
+	}
+	// The stale token from the expired claim must not finalize anything.
+	if n := q.AckClaims([]string{claims[0].Token}); n != 0 {
+		t.Fatalf("stale ack finalized %d jobs", n)
+	}
+}
+
+func TestStealEligibilityFilter(t *testing.T) {
+	q := drainQueue(t)
+	have := testSpec("have")
+	miss := testSpec("miss")
+	miss.Dataset = "elsewhere"
+	if _, _, err := q.Submit(have, "h-have"); err != nil {
+		t.Fatal(err)
+	}
+	jm, _, err := q.Submit(miss, "h-miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := q.ClaimQueued(10, func(sp Spec) bool { return sp.Dataset == "demo" }, "node-b", time.Minute)
+	if len(claims) != 1 || claims[0].Spec.Dataset != "demo" {
+		t.Fatalf("filtered claims = %+v", claims)
+	}
+	// The ineligible job went back on the heap, still claimable by a
+	// thief that does hold its dataset.
+	rest := q.ClaimQueued(10, nil, "node-c", time.Minute)
+	if len(rest) != 1 || rest[0].JobID != jm.ID {
+		t.Fatalf("remaining claims = %+v", rest)
+	}
+}
+
+func TestStealCancelWhileClaimed(t *testing.T) {
+	q := drainQueue(t)
+	j, _, err := q.Submit(testSpec("cancel"), "h-cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := q.ClaimQueued(1, nil, "node-b", time.Minute)
+	if len(claims) != 1 {
+		t.Fatalf("ClaimQueued = %d, want 1", len(claims))
+	}
+	if _, err := q.Cancel(j.ID); err != nil {
+		t.Fatalf("Cancel while claimed: %v", err)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", got.State)
+	}
+	// The user won the race: the late ack must not overwrite canceled.
+	if n := q.AckClaims([]string{claims[0].Token}); n != 0 {
+		t.Fatalf("ack after cancel finalized %d jobs", n)
+	}
+	if got, _ := q.Get(j.ID); got.State != StateCanceled {
+		t.Fatalf("ack after cancel rewrote state to %q", got.State)
+	}
+}
+
+func TestStealBatchBound(t *testing.T) {
+	q := newTestQueue(t, deterministicExec, Options{Workers: -1, MaxActive: 2 * MaxStealBatch})
+	if claims := q.ClaimQueued(0, nil, "node-b", time.Minute); claims != nil {
+		t.Fatalf("ClaimQueued(0) = %+v, want nil", claims)
+	}
+	for i := 0; i < MaxStealBatch+5; i++ {
+		key := "bulk-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if _, _, err := q.Submit(testSpec(key), "h-"+key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	claims := q.ClaimQueued(MaxStealBatch+100, nil, "node-b", time.Minute)
+	if len(claims) != MaxStealBatch {
+		t.Fatalf("claims = %d, want cap %d", len(claims), MaxStealBatch)
+	}
+}
+
+// TestStealClaimCrashRecovery extends the PR 5 crash contract to steals:
+// a job parked under a claim is still "queued" in the persisted record,
+// so a victim crash before the ack requeues it — the job is never lost.
+func TestStealClaimCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	db := openStore(t, path)
+	q1, err := New(db, deterministicExec, Options{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q1.Submit(testSpec("steal-crash"), "h-steal-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claims := q1.ClaimQueued(1, nil, "node-b", time.Hour); len(claims) != 1 {
+		t.Fatalf("ClaimQueued = %d, want 1", len(claims))
+	}
+	q1.Kill() // crash mid-handoff, ack never arrives
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openStore(t, path)
+	defer db2.Close()
+	q2, err := New(db2, deterministicExec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Kill()
+	got := waitState(t, q2, j.ID, StateDone)
+	if !got.Recovered {
+		t.Fatalf("recovered job not flagged: %+v", got)
+	}
+}

@@ -33,6 +33,12 @@ const (
 	// MetricEventsDropped counts events discarded because a subscriber
 	// fell behind.
 	MetricEventsDropped = "fairrank_jobs_events_dropped_total"
+	// MetricClaims counts queued jobs handed to stealing peers under
+	// claim tokens (steal.go).
+	MetricClaims = "fairrank_jobs_steal_claims_total"
+	// MetricClaimsExpired counts steal claims that timed out unacked and
+	// returned their jobs to the ready heap.
+	MetricClaimsExpired = "fairrank_jobs_steal_claims_expired_total"
 	// MetricDepth gauges the live population, labeled by state
 	// (queued/running).
 	MetricDepth = "fairrank_jobs_depth"
@@ -57,6 +63,9 @@ type queueMetrics struct {
 	done          *telemetry.Counter
 	failed        *telemetry.Counter
 	canceled      *telemetry.Counter
+	stolen        *telemetry.Counter
+	claims        *telemetry.Counter
+	claimsExpired *telemetry.Counter
 	recovered     *telemetry.Counter
 	persistErrors *telemetry.Counter
 	eventsDropped *telemetry.Counter
@@ -82,6 +91,9 @@ func newQueueMetrics(reg *telemetry.Registry, oldestAge func() float64) queueMet
 		done:          reg.Counter(MetricCompleted, state(string(StateDone))),
 		failed:        reg.Counter(MetricCompleted, state(string(StateFailed))),
 		canceled:      reg.Counter(MetricCompleted, state(string(StateCanceled))),
+		stolen:        reg.Counter(MetricCompleted, state(string(StateStolen))),
+		claims:        reg.Counter(MetricClaims),
+		claimsExpired: reg.Counter(MetricClaimsExpired),
 		recovered:     reg.Counter(MetricRecovered),
 		persistErrors: reg.Counter(MetricPersistErrors),
 		eventsDropped: reg.Counter(MetricEventsDropped),

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 
+	"fairrank/internal/cluster"
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
 	"fairrank/internal/emd"
@@ -182,6 +183,22 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := cspec.Hash()
 	release()
+	// Clustered placement: the canonical hash's ring owner runs the job,
+	// so identical specs submitted anywhere in the cluster dedup onto one
+	// run. A stamped submission is never re-forwarded (loop guard), and
+	// any placement failure falls through to local execution.
+	if c := s.clusterRef(); c != nil && r.Header.Get(cluster.HeaderForwarded) == "" {
+		dsName := spec.Dataset
+		if dsName == "" {
+			dsName = spec.Snapshot
+		}
+		if fw := c.PlaceJob(hash, dsName, body); fw != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(fw.Status)
+			_, _ = w.Write(fw.Body)
+			return
+		}
+	}
 	job, created, err := s.jobs.Submit(spec, hash)
 	var full *jobs.FullError
 	switch {
@@ -206,12 +223,22 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := s.jobs.Get(id)
-	if !ok {
+	c := s.clusterRef()
+	if job, ok := s.jobs.Get(id); ok {
+		if c != nil {
+			writeJSON(w, http.StatusOK, clusterJob{Job: job, Node: c.NodeID()})
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	// Local miss: scatter to live peers unless this request is itself a
+	// peer's fan-out (loop guard).
+	if c == nil || r.Header.Get(cluster.HeaderScatter) != "" {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	s.scatterGetJob(w, c, id)
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -236,9 +263,15 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	state := jobs.State(qp.Get("state"))
 	switch state {
-	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled, jobs.StateStolen:
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad state %q", state))
+		return
+	}
+	// Clustered reads fan out to live peers and merge; a peer's own
+	// fan-out request (scatter header) is answered from local state only.
+	if c := s.clusterRef(); c != nil && r.Header.Get(cluster.HeaderScatter) == "" {
+		s.scatterListJobs(w, c, state, offset, limit)
 		return
 	}
 	page, total := s.jobs.List(state, offset, limit)

@@ -322,8 +322,15 @@ func TestJobsListPaginationHTTP(t *testing.T) {
 	if status := getJSON(t, ts.URL+"/v1/jobs", &page); status != http.StatusOK || page.Limit != 50 {
 		t.Fatalf("default limit = %d (status %d)", page.Limit, status)
 	}
+	// Negative and malformed paging must be a 400, never a panic, an
+	// empty 200, or (clustered) a wasted fan-out — regression for the
+	// scatter path validating after the fact.
 	var errResp map[string]any
-	for _, bad := range []string{"?limit=0", "?limit=x", "?offset=-1", "?state=bogus"} {
+	for _, bad := range []string{
+		"?limit=0", "?limit=-1", "?limit=-2", "?limit=x",
+		"?offset=-1", "?offset=-999999", "?offset=1.5", "?limit=-1&offset=3",
+		"?state=bogus",
+	} {
 		if status := getJSON(t, ts.URL+"/v1/jobs"+bad, &errResp); status != http.StatusBadRequest {
 			t.Fatalf("GET /v1/jobs%s status %d, want 400", bad, status)
 		}

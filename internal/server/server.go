@@ -12,6 +12,7 @@
 //	                                  application/x-fairrank-snapshot (columnar,
 //	                                  streamed to disk and served mmap'd)
 //	GET  /v1/datasets/{name}          dataset metadata
+//	GET  /v1/datasets/{name}/snapshot columnar snapshot bytes (Range-capable)
 //	POST /v1/datasets/{name}/uploads  start a chunked upload session {"size":N}
 //	POST /v1/datasets/{name}/chunks   send one chunk (Upload-Token, Content-Range)
 //	GET  /v1/datasets/{name}/uploads/{token}  session progress (resume point)
@@ -34,6 +35,11 @@
 //	POST /v1/rerank                   exposure-parity re-rank a task's page
 //	POST /v1/repair                   before/after unfairness of score repair
 //	POST /v1/explain                  per-attribute importance for a function
+//	GET  /v1/cluster                  cluster membership + placement status
+//	GET  /v1/cluster/ping             peer heartbeat (depth + dataset inventory)
+//	POST /v1/cluster/steal            peer protocol: claim queued jobs
+//	POST /v1/cluster/ack              peer protocol: finalize a steal handoff
+//	POST /v1/cluster/hydrate          pull a snapshot from a peer {name, peer}
 //	GET  /                            HTML dashboard
 package server
 
@@ -51,6 +57,7 @@ import (
 	"strconv"
 	"sync"
 
+	"fairrank/internal/cluster"
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
 	"fairrank/internal/emd"
@@ -99,9 +106,16 @@ type Server struct {
 	// uploadDir holds chunked-upload spill files (see upload.go).
 	uploadDir string
 
+	// cluster federates this node with its peers when EnableCluster was
+	// called; nil on a standalone node. Guarded by mu (set once, read on
+	// hot paths).
+	cluster *cluster.Cluster
+
 	mu       sync.RWMutex
 	datasets map[string]*dataset.Dataset
 	sessions map[string]*uploadSession
+	// hydrating guards per-dataset snapshot hydration (cluster.go).
+	hydrating map[string]bool
 	// retired holds mmap-backed datasets that were replaced or deleted.
 	// They are closed at Shutdown, not at retire time: audit handlers and
 	// job workers hold *Dataset pointers across long runs without the lock,
@@ -145,6 +159,7 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 		db:         db,
 		datasets:   map[string]*dataset.Dataset{},
 		sessions:   map[string]*uploadSession{},
+		hydrating:  map[string]bool{},
 		auditLimit: 4,
 		metrics:    telemetry.NewRegistry(),
 	}
@@ -156,6 +171,9 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 	// series behind POST /v1/rank.
 	core.PreregisterMetrics(s.metrics)
 	rerank.PreregisterMetrics(s.metrics)
+	// Build identity on every scrape: heterogeneous cluster rollouts show
+	// up as differing fairrank_build_info labels across nodes.
+	telemetry.RegisterBuildInfo(s.metrics)
 	snaps, err := store.NewSnapshots(db, db.Path()+".snapshots")
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot store: %w", err)
@@ -227,6 +245,11 @@ func (s *Server) Jobs() *jobs.Queue { return s.jobs }
 // Retired dataset mappings — replaced or deleted while audits may still
 // have been reading them — are unmapped here, after the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// The cluster loop goes first: no more steals, forwards, or
+	// hydrations may touch the queue or the dataset table mid-drain.
+	if c := s.clusterRef(); c != nil {
+		c.Close()
+	}
 	err := s.jobs.Shutdown(ctx)
 	s.mu.Lock()
 	retired := s.retired
@@ -266,6 +289,7 @@ func (s *Server) Handler() http.Handler {
 	handleFunc("GET /v1/datasets", s.handleListDatasets)
 	handleFunc("POST /v1/datasets/{name}", s.handleUploadDataset)
 	handleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	handleFunc("GET /v1/datasets/{name}/snapshot", s.handleSnapshotExport)
 	handleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	handleFunc("POST /v1/datasets/{name}/uploads", s.handleCreateUpload)
 	handleFunc("GET /v1/datasets/{name}/uploads/{token}", s.handleUploadStatus)
@@ -286,6 +310,11 @@ func (s *Server) Handler() http.Handler {
 	handleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	handleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	handleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handleFunc("GET /v1/cluster", s.handleClusterStatus)
+	handleFunc("GET /v1/cluster/ping", s.handleClusterPing)
+	handleFunc("POST /v1/cluster/steal", s.handleClusterSteal)
+	handleFunc("POST /v1/cluster/ack", s.handleClusterAck)
+	handleFunc("POST /v1/cluster/hydrate", s.handleClusterHydrate)
 	handleFunc("POST /v1/rerank", s.handleRerank)
 	handleFunc("POST /v1/repair", s.handleRepair)
 	handle("POST /v1/explain", withSemaphore(s.auditLimit, http.HandlerFunc(s.handleExplain)))

@@ -69,6 +69,11 @@ type uploadSession struct {
 	// Updated is the unix time of the last accepted chunk (or session
 	// creation); idle sessions past uploadSessionTTL are expired.
 	Updated int64 `json:"updated,omitempty"`
+	// Source marks a cluster-hydration session and names the peer base
+	// URL the bytes come from (cluster.go). Client uploads leave it
+	// empty. Persisted so an interrupted hydration resumes across
+	// restarts from its recorded ranges.
+	Source string `json:"source,omitempty"`
 
 	// closed marks the session as no longer accepting writes: set under
 	// s.mu by exactly one of finalize, abort, or expiry, whichever wins.
@@ -492,12 +497,25 @@ func (s *Server) writeChunk(sess *uploadSession, start, want int64, body io.Read
 	return 0, nil
 }
 
-// finalizeUpload validates a fully-received spill as a columnar snapshot,
-// adopts it into the snapshot store, and registers the mmap-backed
-// dataset. The session is consumed either way: a corrupt upload is
-// discarded rather than left around to re-fail forever. The caller must
-// have set sess.closed under s.mu, electing itself the only finalizer.
+// finalizeUpload answers the chunk request that closed the coverage with
+// the outcome of completeSession.
 func (s *Server) finalizeUpload(w http.ResponseWriter, sess *uploadSession) {
+	info, status, err := s.completeSession(sess)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, status, info)
+}
+
+// completeSession validates a fully-received spill as a columnar
+// snapshot, adopts it into the snapshot store, and registers the
+// mmap-backed dataset. Shared tail of client chunk uploads and cluster
+// snapshot hydration. The session is consumed either way: a corrupt
+// transfer is discarded rather than left around to re-fail forever. The
+// caller must have set sess.closed under s.mu, electing itself the only
+// finalizer. Returns the dataset description and an HTTP status.
+func (s *Server) completeSession(sess *uploadSession) (datasetInfo, int, error) {
 	// Drain straggling chunk writes (duplicate retries of ranges other
 	// chunks already covered). closed is set, so no new writer can start:
 	// after Wait the spill is quiescent, and whatever those writers left
@@ -516,26 +534,23 @@ func (s *Server) finalizeUpload(w http.ResponseWriter, sess *uploadSession) {
 	if err != nil {
 		dropSession()
 		os.Remove(spill)
-		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("uploaded snapshot invalid: %w", err))
-		return
+		return datasetInfo{}, http.StatusUnprocessableEntity, fmt.Errorf("uploaded snapshot invalid: %w", err)
 	}
 	probe.Close()
 	path, err := s.snaps.Adopt(sess.Dataset, spill)
 	if err != nil {
 		dropSession()
 		os.Remove(spill)
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return datasetInfo{}, http.StatusInternalServerError, err
 	}
 	mapped, err := dataset.OpenSnapshot(path)
 	if err != nil {
 		dropSession()
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return datasetInfo{}, http.StatusInternalServerError, err
 	}
 	s.registerDataset(sess.Dataset, mapped)
 	dropSession()
-	writeJSON(w, http.StatusCreated, describe(sess.Dataset, mapped))
+	return describe(sess.Dataset, mapped), http.StatusCreated, nil
 }
 
 func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request) {

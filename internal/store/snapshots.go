@@ -179,6 +179,23 @@ func (s *Snapshots) Ref(name string) (SnapshotRef, bool) {
 	return ref, true
 }
 
+// Open returns a read handle on name's snapshot file plus its ref —
+// the export side of cluster snapshot shipping (http.ServeContent wants
+// an io.ReadSeeker). The caller closes the file. A concurrent replace of
+// the same name leaves the handle valid: the old inode lives until the
+// last fd drops.
+func (s *Snapshots) Open(name string) (*os.File, SnapshotRef, error) {
+	ref, ok := s.Ref(name)
+	if !ok {
+		return nil, SnapshotRef{}, fmt.Errorf("store: no snapshot %q", name)
+	}
+	f, err := os.Open(filepath.Join(s.dir, ref.File))
+	if err != nil {
+		return nil, SnapshotRef{}, err
+	}
+	return f, ref, nil
+}
+
 // Path returns the file path of name's snapshot.
 func (s *Snapshots) Path(name string) (string, bool) {
 	ref, ok := s.Ref(name)

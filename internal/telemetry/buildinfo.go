@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// MetricBuildInfo is the constant build-identity gauge. Its value is
+// always 1; the information lives in the labels — the Prometheus
+// convention for version metadata, so a fleet dashboard can spot
+// heterogeneous rollouts by grouping on the label set.
+const MetricBuildInfo = "fairrank_build_info"
+
+// RegisterBuildInfo registers the fairrank_build_info gauge on reg with
+// version/commit/go labels resolved from the binary's embedded build
+// info. Values degrade to "unknown" for binaries built without module
+// or VCS metadata (e.g. plain `go test` harnesses). Safe to call more
+// than once per registry — the series is deduplicated by name+labels.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version, commit := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				commit = s.Value
+				if len(commit) > 12 {
+					commit = commit[:12]
+				}
+			}
+		}
+	}
+	reg.Gauge(MetricBuildInfo,
+		Label{Key: "version", Value: version},
+		Label{Key: "commit", Value: commit},
+		Label{Key: "go", Value: runtime.Version()},
+	).Set(1)
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	RegisterBuildInfo(nil) // nil registry must be a no-op, not a panic
+
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	snap := r.Snapshot()
+	var series string
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, MetricBuildInfo) {
+			series = name
+			break
+		}
+	}
+	if series == "" {
+		t.Fatalf("no %s series in snapshot: %v", MetricBuildInfo, snap.Gauges)
+	}
+	if got := snap.Gauges[series]; got != 1 {
+		t.Fatalf("%s = %v, want 1", series, got)
+	}
+	// The go runtime version label is always known, even in test binaries
+	// where VCS stamping is absent.
+	if !strings.Contains(series, `go="go`) {
+		t.Fatalf("series %q missing go version label", series)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), MetricBuildInfo) {
+		t.Fatalf("prometheus export missing %s:\n%s", MetricBuildInfo, buf.String())
+	}
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileConcurrentWriters hammers Quantile from reader
+// goroutines while writers Observe — the steal-latency histogram is
+// read exactly this way by the bench harness while the cluster loop is
+// still recording. Run under -race (make verify does); the assertions
+// here also pin that a mid-write Quantile stays in the histogram's
+// value domain instead of returning garbage from a torn read.
+func TestHistogramQuantileConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	bounds := ExpBuckets(1e-3, 2, 12)
+	h := r.Histogram("race_lat_seconds", bounds)
+	const writers, readers, per = 4, 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Deterministic spread across the bucket range.
+				h.Observe(1e-3 * float64(1+(seed*per+i)%4000))
+			}
+		}(w)
+	}
+	maxBound := bounds[len(bounds)-1]
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q := float64(i%101) / 100
+				v := h.Quantile(q)
+				if math.IsNaN(v) || v < 0 {
+					t.Errorf("Quantile(%v) = %v mid-write", q, v)
+					return
+				}
+				// Anything not past the last bound must be one of the
+				// configured bounds; beyond it is +Inf.
+				if !math.IsInf(v, 1) && v > maxBound {
+					t.Errorf("Quantile(%v) = %v exceeds last bound %v", q, v, maxBound)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("count = %d, want %d", got, writers*per)
+	}
+	// Quiesced: quantiles must be monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile(prev) = %v", q, v, prev)
+		}
+		prev = v
+	}
+}
