@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 7
 
-.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot bench-rerank bench-cluster telemetry-overhead verify fuzz-smoke cover
+.PHONY: build test bench bench-monitor bench-json bench-jobs bench-prune bench-snapshot bench-rerank bench-cluster bench-drift telemetry-overhead verify fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -121,6 +121,29 @@ bench-cluster:
 	$(GO) run ./cmd/benchdiff -baseline 'cluster=off' -candidate 'cluster=solo' -max-overhead 5 < /tmp/cluster-bench.txt
 	$(GO) run ./cmd/benchjson -algo balanced -out BENCH_9.json < /tmp/cluster-bench.txt
 
+# bench-drift is the CI gate for the continuous-audit subsystem
+# (DESIGN.md §13) and emits BENCH_10.json. Three checks run:
+#   1. zero-alloc steady state: TestWindowSteadyStateAllocs holds the
+#      sliding window's per-event path at 0 allocs over a stable
+#      join/rescore/leave mix.
+#   2. window cost: the sliding-window estimator must stay within 2x of
+#      the unbounded monitor per event (the window pays a ring write and
+#      an occasional retraction on top of the same delta machinery).
+#   3. alarm overhead: evaluating the standard 3-rule set after every
+#      event must stay within 5% of running the same watch with no rules.
+# BENCHCOUNT separate short rounds, per-round pairing rationale as in
+# telemetry-overhead below.
+bench-drift:
+	@rm -f /tmp/drift-bench.txt
+	$(GO) test -run '^TestWindowSteadyStateAllocs$$' -v ./internal/drift/
+	@for i in $$(seq $(BENCHCOUNT)); do \
+		$(GO) test -run '^$$' -bench 'BenchmarkDrift(PerEvent|Alarm)$$' -benchtime 50000x -count 1 ./internal/drift/ >> /tmp/drift-bench.txt || exit 1; \
+	done
+	@grep ns/op /tmp/drift-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'estimator=unbounded' -candidate 'estimator=window' -max-overhead 100 < /tmp/drift-bench.txt
+	$(GO) run ./cmd/benchdiff -baseline 'alarms=off' -candidate 'alarms=on' -max-overhead 5 < /tmp/drift-bench.txt
+	$(GO) run ./cmd/benchjson -algo balanced -out BENCH_10.json < /tmp/drift-bench.txt
+
 # telemetry-overhead is the CI gate for the observability layer: the
 # always-on metrics path (what fairserve enables per request) must stay
 # within 5% of the uninstrumented baseline, and the opt-in span-tracing
@@ -167,6 +190,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzJobSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/jobs/
 	$(GO) test -run '^$$' -fuzz '^FuzzRankRequest$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzClusterMessage$$' -fuzztime $(FUZZTIME) ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzMonitorSpecJSON$$' -fuzztime $(FUZZTIME) ./internal/drift/
 
 # cover writes a module-wide coverage profile (uploaded as a CI artifact).
 cover:

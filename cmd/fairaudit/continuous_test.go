@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunContinuousReadout(t *testing.T) {
+	var b bytes.Buffer
+	if err := runContinuousCmd(&b, "", "", 200, 7, 0.5, "", 10, "", 50, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"continuous audit: 200 join events, window 50, half-life 100",
+		"total", "window", "decay", "final:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A window covering the whole stream must equal the unbounded monitor
+	// — the CLI-level echo of the metamorphic differential test.
+	b.Reset()
+	if err := runContinuousCmd(&b, "", "", 150, 7, 0.5, "", 10, "Gender", 150, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	last := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "final:") {
+			last = l
+		}
+	}
+	fields := strings.Fields(last) // final: total X over N workers; window Y over the last N
+	if len(fields) < 8 {
+		t.Fatalf("unexpected final line %q", last)
+	}
+	tot, err1 := strconv.ParseFloat(fields[2], 64)
+	win, err2 := strconv.ParseFloat(fields[7], 64)
+	if err1 != nil || err2 != nil || tot != win {
+		t.Fatalf("full-stream window %v != total %v (line %q)", win, tot, last)
+	}
+}
+
+func TestRunContinuousValidation(t *testing.T) {
+	var b bytes.Buffer
+	if err := runContinuousCmd(&b, "", "", 50, 1, 0.5, "", 10, "Charisma", 20, 0); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if err := runContinuousCmd(&b, "", "", 50, 1, 2.5, "", 10, "", 20, 0); err == nil {
+		t.Fatal("bad alpha accepted")
+	}
+	if err := runContinuousCmd(&b, "", "", 50, 1, 0.5, "", 10, "", -3, 0); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}

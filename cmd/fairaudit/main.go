@@ -14,6 +14,11 @@
 // Audit a columnar snapshot memory-mapped, without loading it into RAM:
 //
 //	fairaudit -snapshot workers.snap -algo balanced
+//
+// Follow the audit with a continuous-audit readout, streaming the rows
+// through a sliding-window and/or exponential-decay estimator:
+//
+//	fairaudit -gen 500 -window 100 -half-life 250
 package main
 
 import (
@@ -60,12 +65,20 @@ func main() {
 		obs      = flag.String("observed", "", "infer schema from -data: comma-separated observed columns")
 		idCol    = flag.String("id", "", "infer schema from -data: worker-id column (default row numbers)")
 		describe = flag.Bool("describe", false, "print a population profile before auditing")
+		window   = flag.Int("window", 0, "also stream the rows through a sliding-window continuous audit of this capacity (internal/drift)")
+		halfLife = flag.Float64("half-life", 0, "also stream the rows through an exponential-decay continuous audit with this half-life in events")
 		timeout  = flag.Duration("timeout", 0, "abort the audit after this long (0 = no deadline)")
 		telJSON  = flag.String("telemetry-json", "", "write engine metrics and the audit's span tree as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *dataFile, *snapFile, *gen, *seed, *algo, *alpha, *weights, *bins, *metric, *prune, *attrs, *figure, *tree, *sig, *expl, *prot, *obs, *idCol, *describe, *timeout, *telJSON); err != nil {
 		log.Fatal(err)
+	}
+	if *window > 0 || *halfLife > 0 {
+		fmt.Println()
+		if err := runContinuousCmd(os.Stdout, *dataFile, *snapFile, *gen, *seed, *alpha, *weights, *bins, *attrs, *window, *halfLife); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

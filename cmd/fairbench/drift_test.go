@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDriftScenarioMildRegime(t *testing.T) {
+	var b bytes.Buffer
+	if err := runDriftScenario(&b, 300, 45, 1, 0.25, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"population-shift drift scenario: 300 workers, 45 steps",
+		"randomized", "det-greedy", "mitigation", "latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both mitigations detect in this regime: no "never" row.
+	if strings.Contains(out, "never") {
+		t.Fatalf("mild regime reported an undetected run:\n%s", out)
+	}
+}
+
+func TestRunDriftScenarioShutOutRegime(t *testing.T) {
+	var b bytes.Buffer
+	if err := runDriftScenario(&b, 300, 45, 1, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "never") || !strings.Contains(out, "shut-out regime") {
+		t.Fatalf("shut-out regime not reported:\n%s", out)
+	}
+}
+
+func TestRunDriftScenarioValidation(t *testing.T) {
+	var b bytes.Buffer
+	if err := runDriftScenario(&b, 300, 1, 1, 0.25, 0.5); err == nil {
+		t.Fatal("single-step scenario accepted")
+	}
+}

@@ -19,6 +19,12 @@
 // The serving-time re-ranker fairness/utility trade-off table:
 //
 //	fairbench -rerank -workers 500
+//
+// The population-shift drift scenario (proxy-free randomized vs
+// det-greedy under a continuous audit):
+//
+//	fairbench -drift
+//	fairbench -drift -drift-shift 0.5   # the shut-out regime
 package main
 
 import (
@@ -84,12 +90,16 @@ func main() {
 		exDemo  = flag.Bool("exhaustive-demo", false, "demonstrate the exhaustive-search budget blow-up")
 		rerankF = flag.Bool("rerank", false, "evaluate every serving-time re-ranker's fairness/utility trade-off")
 		rerankK = flag.Int("rerank-k", 125, "page size for -rerank")
+		driftF  = flag.Bool("drift", false, "run the population-shift drift scenario: proxy-free randomized vs det-greedy under a continuous audit")
+		driftSh = flag.Float64("drift-shift", 0.25, "total minority score depression injected by -drift")
+		driftSp = flag.Float64("drift-spread", 0.5, "randomized re-ranker jitter width for -drift")
+		driftSt = flag.Int("drift-steps", 60, "serving steps for -drift")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		telJSON = flag.String("telemetry-json", "", "write engine metrics and span trees as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
-	if !*figure1 && !*exDemo && !*sweep && !*rerankF && *table == "" {
+	if !*figure1 && !*exDemo && !*sweep && !*rerankF && !*driftF && *table == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -149,6 +159,15 @@ func main() {
 			n = simulate.SmallPopulation
 		}
 		if err := runRerank(os.Stdout, snapDS, n, *seed, *rerankK, bt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *driftF {
+		n := *workers
+		if n == 0 {
+			n = simulate.SmallPopulation
+		}
+		if err := runDriftScenario(os.Stdout, n, *driftSt, *seed, *driftSh, *driftSp); err != nil {
 			log.Fatal(err)
 		}
 	}

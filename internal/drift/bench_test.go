@@ -1,0 +1,207 @@
+package drift
+
+import (
+	"fmt"
+	"testing"
+
+	"fairrank/internal/monitor"
+)
+
+// benchStream builds a steady-state workload over a fixed worker
+// population split across two groups: a prelude that joins every worker
+// once, and a cyclic stream where each worker in turn leaves, rejoins,
+// and is rescored twice. Looping the cyclic slice is always a valid
+// stream for both the unbounded monitor and the window, the population
+// never dips by more than one, and no group ever empties — so the
+// steady state has no structural rebuilds, only delta-path work.
+func benchStream(workers int) (prelude, cycle []Event) {
+	id := func(i int) string { return fmt.Sprintf("bw%d", i) }
+	score := func(i, salt int) float64 { return float64((i*salt+7)%97) / 97 }
+	for i := 0; i < workers; i++ {
+		prelude = append(prelude, Event{Type: EventJoin, Worker: id(i), Protected: groupAttrMaps[i%2], Score: score(i, 1)})
+	}
+	for i := 0; i < workers; i++ {
+		cycle = append(cycle,
+			Event{Type: EventLeave, Worker: id(i)},
+			Event{Type: EventJoin, Worker: id(i), Protected: groupAttrMaps[i%2], Score: score(i, 13)},
+			Event{Type: EventRescore, Worker: id(i), Score: score(i, 31)},
+			Event{Type: EventRescore, Worker: id(i), Score: score(i, 57)},
+		)
+	}
+	return prelude, cycle
+}
+
+func seedAnchors(tb testing.TB, join func(string, map[string]any, float64) error) {
+	tb.Helper()
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 2; i++ {
+			if err := join(fmt.Sprintf("anchor%d-%d", g, i), groupAttrMaps[g], 0.25+0.5*float64(g)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+}
+
+func applyWindowEvent(w *Window, ev Event) error {
+	switch ev.Type {
+	case EventJoin:
+		return w.Join(ev.Worker, ev.Protected, ev.Score)
+	case EventLeave:
+		return w.Leave(ev.Worker)
+	default:
+		return w.Rescore(ev.Worker, ev.Score)
+	}
+}
+
+// BenchmarkDriftPerEvent compares the per-event cost of the sliding
+// window against the raw unbounded monitor on the same steady-state
+// stream — the CI gate (bench-drift) holds the window within 2×: an
+// admission is one monitor delta op, and only retractions of still-open
+// spans pay a second one.
+func BenchmarkDriftPerEvent(b *testing.B) {
+	prelude, cycle := benchStream(64)
+	b.Run("estimator=unbounded", func(b *testing.B) {
+		m, err := monitor.New(streamSchema(), []string{"G"}, 10, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seedAnchors(b, m.Join)
+		apply := func(ev Event) error {
+			switch ev.Type {
+			case EventJoin:
+				return m.Join(ev.Worker, ev.Protected, ev.Score)
+			case EventLeave:
+				return m.Leave(ev.Worker)
+			default:
+				return m.Rescore(ev.Worker, ev.Score)
+			}
+		}
+		for _, ev := range prelude {
+			if err := apply(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 2*len(cycle); i++ { // warm maps before measuring
+			if err := apply(cycle[i%len(cycle)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := apply(cycle[i%len(cycle)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("estimator=window", func(b *testing.B) {
+		w, err := NewWindow(streamSchema(), []string{"G"}, 10, 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seedAnchors(b, w.Join)
+		for _, ev := range prelude {
+			if err := applyWindowEvent(w, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 4*len(cycle); i++ { // reach capacity and ring steady state
+			if err := applyWindowEvent(w, cycle[i%len(cycle)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := applyWindowEvent(w, cycle[i%len(cycle)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDriftAlarm measures what rule evaluation adds to a watch's
+// event path: the same estimators with zero rules vs the full three-rule
+// set (none of which transition, the steady-state case). The CI gate
+// holds the overhead within 5%.
+func BenchmarkDriftAlarm(b *testing.B) {
+	prelude, cycle := benchStream(64)
+	run := func(b *testing.B, rules []RuleSpec) {
+		w, err := NewWatch(streamSchema(), Spec{
+			ID: "bench", Dataset: "bench", Attributes: []string{"G"},
+			Weights: map[string]float64{"Score": 1},
+			Window:  96, Rules: rules,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seedAnchors(b, func(id string, prot map[string]any, score float64) error {
+			_, err := w.Apply(Event{Type: EventJoin, Worker: id, Protected: prot, Score: score})
+			return err
+		})
+		for _, ev := range prelude {
+			if _, err := w.Apply(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 4*len(cycle); i++ {
+			if _, err := w.Apply(cycle[i%len(cycle)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		w.SealBaseline()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Apply(cycle[i%len(cycle)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("alarms=off", func(b *testing.B) { run(b, nil) })
+	b.Run("alarms=on", func(b *testing.B) {
+		run(b, []RuleSpec{
+			// Limits far above any reachable signal: the steady state is
+			// "armed but silent", which is what production watches do
+			// almost all of the time.
+			{Name: "hard", Type: RuleThreshold, Threshold: 10, Hysteresis: 0.1},
+			{Name: "slope", Type: RuleDelta, Delta: 10, Lookback: 64, Hysteresis: 0.1},
+			{Name: "drift", Type: RuleBaseline, Delta: 10, Hysteresis: 0.1, Cooldown: 10},
+		})
+	})
+}
+
+// TestWindowSteadyStateAllocs is the zero-alloc gate: once the window is
+// at capacity over a stable population and group set, feeding events must
+// not allocate — the ring, the key scratch, the worker maps and the
+// monitor's delta path are all reused storage.
+func TestWindowSteadyStateAllocs(t *testing.T) {
+	prelude, cycle := benchStream(64)
+	w, err := NewWindow(streamSchema(), []string{"G"}, 10, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAnchors(t, w.Join)
+	for _, ev := range prelude {
+		if err := applyWindowEvent(w, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4*len(cycle); i++ {
+		if err := applyWindowEvent(w, cycle[i%len(cycle)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5, func() {
+		for range cycle {
+			if err := applyWindowEvent(w, cycle[i%len(cycle)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state window path allocates: %v allocs per %d-event cycle", avg, len(cycle))
+	}
+}

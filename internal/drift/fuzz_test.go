@@ -1,0 +1,55 @@
+package drift
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzMonitorSpecJSON pins the monitor spec's decode/encode round trip.
+// Specs are persisted in WAL monitor records and revived at every boot,
+// so every spec DecodeSpec accepts must survive Marshal → DecodeSpec as
+// the identical value, and the marshaled form must be a fixed point —
+// representation drift would change monitor records across a restart.
+// Strictness is part of the contract: unknown fields and trailing garbage
+// must be rejected, never silently dropped.
+func FuzzMonitorSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"id":"m1","dataset":"workers","attributes":["Gender"],"weights":{"ApprovalRate":1}}`))
+	f.Add([]byte(`{"id":"gender-watch","dataset":"d","attributes":["Gender","Country"],"weights":{"a":0.5,"b":2},"bins":20,"window":512,"half_life":1000,"rules":[{"name":"hard","type":"threshold","threshold":0.4},{"name":"slope","type":"delta-over-window","delta":0.05,"lookback":200,"source":"decay"},{"name":"drift","type":"window-vs-baseline","delta":0.08,"hysteresis":0.25,"cooldown":50,"warmup":100}]}`))
+	f.Add([]byte(`{"id":"m","dataset":"d","attributes":["A"],"weights":{"w":1},"rules":[]}`))
+	f.Add([]byte(`{"id":"m","dataset":"d","attributes":["A"],"weights":{"w":1},"unknown":true}`))
+	f.Add([]byte(`{"id":"m","dataset":"d","attributes":["A"],"weights":{"w":1}}{"trailing":1}`))
+	f.Add([]byte(`{"id":"BAD ID","dataset":"d","attributes":["A"],"weights":{"w":1}}`))
+	f.Add([]byte(`{"id":"m","dataset":"d","attributes":["A"],"weights":{"w":-1}}`))
+	f.Add([]byte(`{"id":"m","dataset":"d","attributes":["A"],"weights":{"w":1},"window":-5}`))
+	f.Add([]byte(`{"id":"m","dataset":"d","attributes":["A"],"weights":{"w":1},"rules":[{"name":"r","type":"threshold","threshold":0.1,"source":"window"}]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return // rejected input: only the accept path has invariants
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("DecodeSpec returned an invalid spec: %v\ninput: %q", err, data)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v\nspec: %+v", err, s)
+		}
+		s2, err := DecodeSpec(out)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding: %s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("spec round trip changed the value:\n  first  %+v\n  second %+v\ninput: %q", s, s2, data)
+		}
+		out2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("encoding is not a fixed point:\n  first  %s\n  second %s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package drift
+
+import "testing"
+
+func TestHubReplayAndLive(t *testing.T) {
+	h := NewHub()
+	for i := 0; i < 3; i++ {
+		h.Publish(AlarmEvent{Rule: "r", Type: AlarmFired})
+	}
+	replay, live, cancel := h.Subscribe()
+	defer cancel()
+	if len(replay) != 3 {
+		t.Fatalf("replay %d events, want 3", len(replay))
+	}
+	for i, ev := range replay {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("replay[%d].Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	pub := h.Publish(AlarmEvent{Rule: "r", Type: AlarmCleared})
+	if pub.Seq != 4 {
+		t.Fatalf("published Seq %d, want 4", pub.Seq)
+	}
+	got := <-live
+	if got.Seq != 4 || got.Type != AlarmCleared {
+		t.Fatalf("live event %+v", got)
+	}
+}
+
+func TestHubBoundedReplay(t *testing.T) {
+	h := NewHub()
+	for i := 0; i < hubReplay+50; i++ {
+		h.Publish(AlarmEvent{Rule: "r"})
+	}
+	replay, _, cancel := h.Subscribe()
+	defer cancel()
+	if len(replay) != hubReplay {
+		t.Fatalf("replay %d events, want %d", len(replay), hubReplay)
+	}
+	if replay[0].Seq != 51 {
+		t.Fatalf("oldest replayed Seq %d, want 51", replay[0].Seq)
+	}
+}
+
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	h := NewHub()
+	_, _, cancel := h.Subscribe()
+	defer cancel()
+	for i := 0; i < hubSubBuffer+10; i++ {
+		h.Publish(AlarmEvent{Rule: "r"})
+	}
+	if h.Dropped() != 10 {
+		t.Fatalf("dropped %d, want 10", h.Dropped())
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	_, live, cancel := h.Subscribe()
+	defer cancel()
+	h.Close()
+	if _, ok := <-live; ok {
+		t.Fatal("live channel not closed on hub close")
+	}
+	// Post-close publishes and subscribes are inert, not panics.
+	h.Publish(AlarmEvent{Rule: "r"})
+	replay, live2, cancel2 := h.Subscribe()
+	defer cancel2()
+	if len(replay) != 0 {
+		t.Fatalf("post-close replay %d events", len(replay))
+	}
+	if _, ok := <-live2; ok {
+		t.Fatal("post-close subscription channel open")
+	}
+	// Double cancel is safe.
+	cancel()
+	cancel()
+}

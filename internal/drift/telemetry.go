@@ -1,0 +1,104 @@
+package drift
+
+import "fairrank/internal/telemetry"
+
+// Drift metric names, exported on the registry passed to SetMetrics.
+const (
+	// MetricEvents counts processed events, labeled {type}.
+	MetricEvents = "fairrank_drift_events_total"
+	// MetricEventSeconds is the per-event latency histogram: estimator
+	// updates plus alarm evaluation, end to end.
+	MetricEventSeconds = "fairrank_drift_event_seconds"
+	// MetricWindowLive gauges window occupancy (live effective events).
+	MetricWindowLive = "fairrank_drift_window_live"
+	// MetricRetractions counts window span retractions.
+	MetricRetractions = "fairrank_drift_window_retractions_total"
+	// MetricTransitions counts alarm transitions, labeled {type}.
+	MetricTransitions = "fairrank_drift_alarm_transitions_total"
+	// MetricAlarmsActive gauges currently firing rules.
+	MetricAlarmsActive = "fairrank_drift_alarms_active"
+	// MetricWatches gauges live server-side monitors (set by the server,
+	// not by individual watches).
+	MetricWatches = "fairrank_drift_watches"
+)
+
+// driftMetrics holds a watch's telemetry handles; the zero value (all
+// nil) is the disabled state and every operation no-ops.
+type driftMetrics struct {
+	joins    *telemetry.Counter
+	leaves   *telemetry.Counter
+	rescores *telemetry.Counter
+
+	fired   *telemetry.Counter
+	cleared *telemetry.Counter
+
+	windowLive   *telemetry.Gauge
+	retractions  *telemetry.Counter
+	alarmsActive *telemetry.Gauge
+
+	latency *telemetry.Histogram
+
+	// lastRetractions turns the window's monotone retraction count into
+	// counter increments.
+	lastRetractions int64
+}
+
+func (dm *driftMetrics) event(typ string) {
+	switch typ {
+	case EventJoin:
+		dm.joins.Inc()
+	case EventLeave:
+		dm.leaves.Inc()
+	case EventRescore:
+		dm.rescores.Inc()
+	}
+}
+
+func (dm *driftMetrics) transition(kind string) {
+	if kind == AlarmFired {
+		dm.fired.Inc()
+	} else {
+		dm.cleared.Inc()
+	}
+}
+
+// sync publishes the gauges at event time, like the monitor's telemetry:
+// a concurrent /metrics scrape never touches the watch's state. Disabled
+// metrics skip it entirely — the gauge inputs (ActiveAlarms, window
+// occupancy) are per-event loops that would otherwise run for nothing.
+func (dm *driftMetrics) sync(w *Watch) {
+	if dm.alarmsActive == nil {
+		return
+	}
+	if w.window != nil {
+		dm.windowLive.Set(float64(w.window.Live()))
+		if r := w.window.Retractions(); r > dm.lastRetractions {
+			dm.retractions.Add(r - dm.lastRetractions)
+			dm.lastRetractions = r
+		}
+	}
+	dm.alarmsActive.Set(float64(w.ActiveAlarms()))
+}
+
+// SetMetrics attaches a telemetry registry: event rates and latency,
+// window occupancy and retractions, and alarm transitions become
+// observable. Counters accumulate across watches sharing one registry;
+// gauges reflect the most recently synced watch. A nil registry leaves
+// metrics disabled.
+func (w *Watch) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	w.met = driftMetrics{
+		joins:        reg.Counter(MetricEvents, telemetry.Label{Key: "type", Value: "join"}),
+		leaves:       reg.Counter(MetricEvents, telemetry.Label{Key: "type", Value: "leave"}),
+		rescores:     reg.Counter(MetricEvents, telemetry.Label{Key: "type", Value: "rescore"}),
+		fired:        reg.Counter(MetricTransitions, telemetry.Label{Key: "type", Value: AlarmFired}),
+		cleared:      reg.Counter(MetricTransitions, telemetry.Label{Key: "type", Value: AlarmCleared}),
+		windowLive:   reg.Gauge(MetricWindowLive),
+		retractions:  reg.Counter(MetricRetractions),
+		alarmsActive: reg.Gauge(MetricAlarmsActive),
+		latency:      reg.Histogram(MetricEventSeconds, telemetry.ExpBuckets(1e-7, 4, 12)),
+	}
+	w.met.sync(w)
+}

@@ -1,0 +1,271 @@
+package drift
+
+import (
+	"errors"
+	"fmt"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/monitor"
+)
+
+// entryKind discriminates the effective events held in the window ring.
+type entryKind uint8
+
+const (
+	entryJoin entryKind = iota
+	entryLeave
+	entryRescore
+)
+
+// entry is one effective event in the window ring. Entries for the same
+// worker's membership span form a chain through next pointers rooted at
+// the span's Join, so retracting the Join can tombstone the whole span in
+// one walk.
+type entry struct {
+	kind      entryKind
+	id        string
+	protected map[string]any // Join entries only: the replayable attributes
+	score     float64
+	next      int // seq of the next entry in this worker's span, -1 if last
+	dead      bool
+}
+
+// Window is the sliding-window unfairness estimator: its value is, by
+// definition, the unfairness a fresh monitor would report after replaying
+// only the last Capacity *effective* events from empty. Instead of
+// replaying, it maintains that state incrementally — admissions reuse the
+// monitor's O(k + log k) delta path and retractions undo the aged-out
+// event through the same machinery — so the estimate is O(1) to read after
+// every event and bit-identical to the replay (the differential suite in
+// window_diff_test.go pins this).
+//
+// Raw stream events are normalized at admission so the window's contents
+// always replay cleanly from empty:
+//
+//   - a Rescore whose Join already aged out re-enters the worker as a
+//     Join, using the protected attributes remembered in the registry;
+//   - a Leave whose Join already aged out admits nothing — the worker's
+//     absence is already reflected in the windowed population;
+//   - retracting a Join tombstones every later entry of that membership
+//     span (its Rescores, and its Leave if one was admitted), because
+//     those entries are meaningless without the Join they modify.
+//
+// Consequently the oldest live entry is always a span-opening Join: a live
+// Leave or Rescore always has its span's Join alive at a strictly older
+// position (if the Join had been retracted the entry would be dead), so
+// retraction never has to undo a bare Leave/Rescore.
+//
+// Window is not safe for concurrent use.
+type Window struct {
+	mon      *monitor.Monitor
+	capacity int
+	// ring is a power-of-two buffer indexed by seq & (len(ring)-1); seqs
+	// are monotonic, head..tail is the occupied span. Tombstoned entries
+	// linger until head passes them, so the ring can transiently hold more
+	// than capacity slots and grows on demand.
+	ring        []entry
+	head, tail  int
+	live        int // non-dead entries in [head, tail)
+	retractions int64
+	// registry remembers every worker's protected attributes for the life
+	// of the stream, so an aged-out worker's Rescore can re-enter it.
+	registry map[string]map[string]any
+	// chainTail maps each worker currently in the windowed population to
+	// the seq of its newest live entry; a worker is in the inner monitor
+	// iff it has a chainTail entry.
+	chainTail map[string]int
+}
+
+// NewWindow creates a sliding-window estimator over the partitioning
+// induced by the named protected attributes, holding the last capacity
+// effective events. bins defaults to 10 when <= 0.
+func NewWindow(schema *dataset.Schema, attrs []string, bins, capacity int) (*Window, error) {
+	if capacity < 1 {
+		return nil, errors.New("drift: window capacity must be positive")
+	}
+	m, err := monitor.New(schema, attrs, bins, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{
+		mon:       m,
+		capacity:  capacity,
+		ring:      make([]entry, 16),
+		registry:  map[string]map[string]any{},
+		chainTail: map[string]int{},
+	}, nil
+}
+
+func (w *Window) slot(seq int) *entry { return &w.ring[seq&(len(w.ring)-1)] }
+
+// push appends an entry at the tail, growing the ring if every slot
+// between head and tail is occupied.
+func (w *Window) push(e entry) int {
+	if w.tail-w.head == len(w.ring) {
+		grown := make([]entry, 2*len(w.ring))
+		for s := w.head; s < w.tail; s++ {
+			grown[s&(len(grown)-1)] = w.ring[s&(len(w.ring)-1)]
+		}
+		w.ring = grown
+	}
+	seq := w.tail
+	*w.slot(seq) = e
+	w.tail++
+	w.live++
+	return seq
+}
+
+// retractOldest ages out the oldest live entry — always a span-opening
+// Join, see the type comment — tombstoning its span and, if the span was
+// still open, removing the worker from the windowed population.
+func (w *Window) retractOldest() {
+	for w.head < w.tail && w.slot(w.head).dead {
+		w.head++
+	}
+	if w.head == w.tail {
+		return
+	}
+	e := w.slot(w.head)
+	if e.kind != entryJoin {
+		panic("drift: window retraction reached a non-Join span head")
+	}
+	closed := false
+	for cur := e.next; cur != -1; {
+		s := w.slot(cur)
+		if s.kind == entryLeave {
+			closed = true
+		}
+		s.dead = true
+		w.live--
+		cur = s.next
+	}
+	e.dead = true
+	w.live--
+	w.head++
+	w.retractions++
+	if !closed {
+		// Span still open: the worker ages out of the windowed population.
+		// A removal failure here is a bookkeeping bug; the inner monitor
+		// records it and UnfairnessErr surfaces it.
+		_ = w.mon.Leave(e.id)
+		delete(w.chainTail, e.id)
+	}
+}
+
+func (w *Window) trim() {
+	for w.live > w.capacity {
+		w.retractOldest()
+	}
+}
+
+// Join records a worker arriving with the given protected attributes and
+// score. The caller must not mutate protected afterwards: the window keeps
+// a reference for replay and re-admission.
+func (w *Window) Join(id string, protected map[string]any, score float64) error {
+	if _, in := w.chainTail[id]; in {
+		return fmt.Errorf("drift: worker %q already present", id)
+	}
+	if err := w.mon.Join(id, protected, score); err != nil {
+		return err
+	}
+	w.registry[id] = protected
+	w.chainTail[id] = w.push(entry{kind: entryJoin, id: id, protected: protected, score: score, next: -1})
+	w.trim()
+	return nil
+}
+
+// Leave records a worker departing. If the worker's span already aged out
+// of the window, the departure is already reflected and admits nothing.
+func (w *Window) Leave(id string) error {
+	tailSeq, in := w.chainTail[id]
+	if !in {
+		if _, known := w.registry[id]; !known {
+			return fmt.Errorf("drift: unknown worker %q", id)
+		}
+		return nil
+	}
+	if err := w.mon.Leave(id); err != nil {
+		return err
+	}
+	seq := w.push(entry{kind: entryLeave, id: id, next: -1})
+	w.slot(tailSeq).next = seq
+	delete(w.chainTail, id)
+	w.trim()
+	return nil
+}
+
+// Rescore updates a worker's score. If the worker's span aged out of the
+// window it re-enters as a Join with its registered protected attributes —
+// the rescore proves the worker is still on the platform.
+func (w *Window) Rescore(id string, score float64) error {
+	tailSeq, in := w.chainTail[id]
+	if !in {
+		prot, known := w.registry[id]
+		if !known {
+			return fmt.Errorf("drift: unknown worker %q", id)
+		}
+		if err := w.mon.Join(id, prot, score); err != nil {
+			return err
+		}
+		w.chainTail[id] = w.push(entry{kind: entryJoin, id: id, protected: prot, score: score, next: -1})
+		w.trim()
+		return nil
+	}
+	if err := w.mon.Rescore(id, score); err != nil {
+		return err
+	}
+	seq := w.push(entry{kind: entryRescore, id: id, score: score, next: -1})
+	w.slot(tailSeq).next = seq
+	w.chainTail[id] = seq
+	w.trim()
+	return nil
+}
+
+// UnfairnessErr returns the windowed unfairness estimate, with any pending
+// inner-monitor bookkeeping error.
+func (w *Window) UnfairnessErr() (float64, error) { return w.mon.UnfairnessErr() }
+
+// Unfairness is the lossy wrapper: 0 when an error is pending.
+func (w *Window) Unfairness() float64 { return w.mon.Unfairness() }
+
+// Workers returns the windowed population size.
+func (w *Window) Workers() int { return w.mon.Workers() }
+
+// Groups returns the number of non-empty windowed groups.
+func (w *Window) Groups() int { return w.mon.Groups() }
+
+// Live returns the window occupancy: the number of live (non-tombstoned)
+// effective events currently held, at most Capacity.
+func (w *Window) Live() int { return w.live }
+
+// Capacity returns the window size W.
+func (w *Window) Capacity() int { return w.capacity }
+
+// Retractions returns how many span heads have aged out.
+func (w *Window) Retractions() int64 { return w.retractions }
+
+// Snapshot returns a deep copy of the windowed monitor state, detached
+// from the stream — cheap offline inspection without pausing ingest.
+func (w *Window) Snapshot() *monitor.Monitor { return w.mon.Clone() }
+
+// Contents returns the window's live effective events in admission order,
+// as wire events. Replaying them into a fresh monitor reconstructs the
+// windowed state exactly; the differential suite leans on this.
+func (w *Window) Contents() []Event {
+	out := make([]Event, 0, w.live)
+	for s := w.head; s < w.tail; s++ {
+		e := w.slot(s)
+		if e.dead {
+			continue
+		}
+		switch e.kind {
+		case entryJoin:
+			out = append(out, Event{Type: EventJoin, Worker: e.id, Protected: e.protected, Score: e.score})
+		case entryLeave:
+			out = append(out, Event{Type: EventLeave, Worker: e.id})
+		case entryRescore:
+			out = append(out, Event{Type: EventRescore, Worker: e.id, Score: e.score})
+		}
+	}
+	return out
+}

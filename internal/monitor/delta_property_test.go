@@ -123,7 +123,7 @@ func TestUnfairnessErrSurfacesFailures(t *testing.T) {
 	}
 	// Corrupt the bookkeeping: claim m's worker was scored into a bin that
 	// holds no mass, so the departure's histogram removal must fail.
-	m.workers["m"] = workerState{key: m.workers["m"].key, score: 0.95}
+	m.workers["m"] = workerState{g: m.workers["m"].g, score: 0.95}
 	if err := m.Leave("m"); err == nil {
 		t.Fatal("corrupted removal succeeded")
 	}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/emd"
@@ -55,6 +56,11 @@ type Monitor struct {
 	// lastErr records the first event-processing failure that may have
 	// left the triangle inconsistent; UnfairnessErr surfaces it.
 	lastErr error
+	// keyBuf is the reusable scratch for group-key construction, so the
+	// steady state (every group already known) allocates nothing: the key
+	// is built here and only materialized as a string when a new group is
+	// born.
+	keyBuf []byte
 	// met holds telemetry handles (see SetMetrics); its zero value is the
 	// disabled state and costs a few predicted branches per event.
 	met monitorMetrics
@@ -71,7 +77,7 @@ type group struct {
 }
 
 type workerState struct {
-	key   string
+	g     *group
 	score float64
 }
 
@@ -109,37 +115,43 @@ func New(schema *dataset.Schema, attrs []string, bins int, threshold float64) (*
 	return m, nil
 }
 
-// groupKey computes the partition cell of a worker given its protected
-// attribute values (raw strings for categorical, numbers for numeric).
-func (m *Monitor) groupKey(protected map[string]any) (string, error) {
-	key := ""
+// appendGroupKey appends the partition cell of a worker with the given
+// protected attribute values (raw strings for categorical, numbers for
+// numeric) to dst and returns the extended slice. Building into the
+// monitor's reusable scratch keeps the per-event path allocation-free:
+// group lookup converts the bytes in place (the compiler elides the string
+// copy for map reads) and only a group birth materializes a real string.
+func (m *Monitor) appendGroupKey(dst []byte, protected map[string]any) ([]byte, error) {
 	for _, a := range m.attrs {
 		attr := m.schema.Protected[a]
 		v, ok := protected[attr.Name]
 		if !ok {
-			return "", fmt.Errorf("monitor: missing attribute %q", attr.Name)
+			return nil, fmt.Errorf("monitor: missing attribute %q", attr.Name)
 		}
 		var code int
 		switch attr.Kind {
 		case dataset.Categorical:
 			s, ok := v.(string)
 			if !ok {
-				return "", fmt.Errorf("monitor: attribute %q wants a string, got %T", attr.Name, v)
+				return nil, fmt.Errorf("monitor: attribute %q wants a string, got %T", attr.Name, v)
 			}
 			code = attr.CategoryIndex(s)
 			if code < 0 {
-				return "", fmt.Errorf("monitor: attribute %q has no value %q", attr.Name, s)
+				return nil, fmt.Errorf("monitor: attribute %q has no value %q", attr.Name, s)
 			}
 		case dataset.Numeric:
 			f, ok := toFloat(v)
 			if !ok {
-				return "", fmt.Errorf("monitor: attribute %q wants a number, got %T", attr.Name, v)
+				return nil, fmt.Errorf("monitor: attribute %q wants a number, got %T", attr.Name, v)
 			}
 			code = attr.BucketIndex(f)
 		}
-		key += fmt.Sprintf("%d=%d|", a, code)
+		dst = strconv.AppendInt(dst, int64(a), 10)
+		dst = append(dst, '=')
+		dst = strconv.AppendInt(dst, int64(code), 10)
+		dst = append(dst, '|')
 	}
-	return key, nil
+	return dst, nil
 }
 
 func toFloat(v any) (float64, bool) {
@@ -280,17 +292,18 @@ func (m *Monitor) Join(id string, protected map[string]any, score float64) error
 	if _, dup := m.workers[id]; dup {
 		return fmt.Errorf("monitor: worker %q already present", id)
 	}
-	key, err := m.groupKey(protected)
+	buf, err := m.appendGroupKey(m.keyBuf[:0], protected)
 	if err != nil {
 		return err
 	}
-	g := m.groups[key]
+	m.keyBuf = buf
+	g := m.groups[string(buf)]
 	if g == nil {
-		g = m.insertGroup(key)
+		g = m.insertGroup(string(buf))
 	}
 	g.hist.Add(score)
 	m.touch(g)
-	m.workers[id] = workerState{key: key, score: score}
+	m.workers[id] = workerState{g: g, score: score}
 	m.met.joins.Inc()
 	m.met.sync(m)
 	return nil
@@ -302,8 +315,9 @@ func (m *Monitor) Leave(id string) error {
 	if !ok {
 		return fmt.Errorf("monitor: unknown worker %q", id)
 	}
-	g := m.groups[st.key]
+	g := st.g
 	if err := g.hist.Remove(st.score); err != nil {
+		err = fmt.Errorf("monitor: leave %q: %w", id, err)
 		m.lastErr = err
 		return err
 	}
@@ -324,8 +338,9 @@ func (m *Monitor) Rescore(id string, score float64) error {
 	if !ok {
 		return fmt.Errorf("monitor: unknown worker %q", id)
 	}
-	g := m.groups[st.key]
+	g := st.g
 	if err := g.hist.Remove(st.score); err != nil {
+		err = fmt.Errorf("monitor: rescore %q: %w", id, err)
 		m.lastErr = err
 		return err
 	}
@@ -394,6 +409,43 @@ func (m *Monitor) Recompute() (float64, error) {
 	return newSumTree(tri).root() / float64(len(tri)), m.lastErr
 }
 
+// Clone returns a deep copy of the monitor: groups, histograms, the
+// distance triangle, the sum tree and the worker table are all duplicated,
+// so events applied to either side never affect the other. Windowed
+// estimators and tests use it to checkpoint state without replaying the
+// stream. Telemetry handles are NOT copied — the clone starts with metrics
+// disabled (attach its own registry via SetMetrics if needed) so counters
+// never double-count a forked monitor.
+func (m *Monitor) Clone() *Monitor {
+	c := &Monitor{
+		schema:     m.schema.Clone(),
+		attrs:      append([]int(nil), m.attrs...),
+		bins:       m.bins,
+		threshold:  m.threshold,
+		unit:       m.unit,
+		minWorkers: m.minWorkers,
+		lastErr:    m.lastErr,
+		groups:     make(map[string]*group, len(m.groups)),
+		workers:    make(map[string]workerState, len(m.workers)),
+		order:      make([]*group, 0, len(m.order)),
+	}
+	for _, g := range m.order {
+		ng := &group{key: g.key, idx: g.idx, hist: g.hist.Clone(), pmf: append([]float64(nil), g.pmf...)}
+		c.groups[ng.key] = ng
+		c.order = append(c.order, ng)
+	}
+	c.tri = append([]float64(nil), m.tri...)
+	if m.sum != nil {
+		// Same leaf count ⇒ same tree shape ⇒ bit-identical root (the
+		// sumTree reduction order is a pure function of the leaf count).
+		c.sum = newSumTree(c.tri)
+	}
+	for id, st := range m.workers {
+		c.workers[id] = workerState{g: c.groups[st.g.key], score: st.score}
+	}
+	return c
+}
+
 // SetMinWorkers sets a warm-up guard: Alert never reports a breach while
 // fewer than n workers are tracked, avoiding false alarms from tiny-sample
 // noise. The default is 0 (no guard); Unfairness is unaffected.
@@ -401,6 +453,14 @@ func (m *Monitor) SetMinWorkers(n int) { m.minWorkers = n }
 
 // Alert reports the current unfairness and whether it breaches the
 // configured threshold (subject to the SetMinWorkers warm-up guard).
+//
+// Alert is threshold-only: it compares the instantaneous unbounded-history
+// estimate against one fixed level, with no hysteresis, no cooldown, and no
+// sensitivity to drift (a slow worsening never crosses a generous static
+// threshold). Long-running deployments that need windowed estimates,
+// delta-over-window or window-vs-baseline drift rules, and flap-resistant
+// alarm lifecycles should use package internal/drift, which layers all of
+// that on top of this monitor.
 func (m *Monitor) Alert() (unfairness float64, breached bool) {
 	u := m.Unfairness()
 	return u, u > m.threshold && len(m.workers) >= m.minWorkers

@@ -1,0 +1,191 @@
+package rerank
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/marketplace"
+	"fairrank/internal/rng"
+	"fairrank/internal/simulate"
+)
+
+func TestRandomizedDeterminism(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 300, 0, 11)
+	a, err := Randomized(ds, attr, ranked, 50, Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Randomized(ds, attr, ranked, 50, Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50 {
+		t.Fatalf("page size %d, want 50", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at position %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Rank != i+1 {
+			t.Fatalf("rank %d mislabeled as %d", i+1, a[i].Rank)
+		}
+	}
+	c, err := Randomized(ds, attr, ranked, 50, Params{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Worker != c[i].Worker {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical pages — jitter inert")
+	}
+}
+
+func TestRandomizedPermutationInvariance(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 200, 0, 12)
+	want, err := Randomized(ds, attr, ranked, 40, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := make([]marketplace.RankedWorker, len(ranked))
+	copy(shuffled, ranked)
+	r := rng.New(99)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	got, err := Randomized(ds, attr, shuffled, 40, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("pool order leaked into page at position %d", i)
+		}
+	}
+}
+
+// TestRandomizedProtectedBlindness is the proxy-free contract: the page
+// is a function of the pool and params alone. Swapping in a completely
+// different dataset — different rows, different protected columns — and
+// even an out-of-range or absent attribute changes nothing.
+func TestRandomizedProtectedBlindness(t *testing.T) {
+	ds1, attr, ranked := biasedRanking(t, 150, 0, 13)
+	ds2, err := simulate.PaperWorkers(150, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Randomized(ds1, attr, ranked, 30, Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, call := range map[string]func() ([]marketplace.RankedWorker, error){
+		"other dataset": func() ([]marketplace.RankedWorker, error) { return Randomized(ds2, attr, ranked, 30, Params{Seed: 5}) },
+		"attr -1":       func() ([]marketplace.RankedWorker, error) { return Randomized(ds1, -1, ranked, 30, Params{Seed: 5}) },
+		"nil dataset":   func() ([]marketplace.RankedWorker, error) { return Randomized(nil, 0, ranked, 30, Params{Seed: 5}) },
+	} {
+		got, err := call()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: page changed at position %d", name, i)
+			}
+		}
+	}
+}
+
+// TestRandomizedDisplacementBound pins the jitter's reach: a candidate
+// can never finish below anyone scored more than Spread·range under it,
+// nor above anyone scored more than Spread·range over it.
+func TestRandomizedDisplacementBound(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 400, 0, 14)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, rw := range ranked {
+		lo, hi = math.Min(lo, rw.Score), math.Max(hi, rw.Score)
+	}
+	for _, spread := range []float64{0.05, 0.1, 0.5} {
+		reach := spread * (hi - lo)
+		for seed := uint64(0); seed < 10; seed++ {
+			page, err := Randomized(ds, attr, ranked, 0, Params{Seed: seed, Spread: spread})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, rw := range page {
+				above, below := 0, 0
+				for _, other := range ranked {
+					if other.Score > rw.Score+reach {
+						above++
+					}
+					if other.Score < rw.Score-reach {
+						below++
+					}
+				}
+				if rank := i + 1; rank < 1+above || rank > len(ranked)-below {
+					t.Fatalf("spread %v seed %d: worker %d (score %v) at rank %d outside [%d, %d]",
+						spread, seed, rw.Worker, rw.Score, rank, 1+above, len(ranked)-below)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomizedValidation(t *testing.T) {
+	ds, attr, ranked := biasedRanking(t, 50, 0, 15)
+	if _, err := Randomized(ds, attr, nil, 10, Params{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := Randomized(ds, attr, ranked, 10, Params{Spread: -0.1}); err == nil {
+		t.Error("negative spread accepted")
+	}
+	if _, err := Randomized(ds, attr, ranked, 10, Params{Spread: 1.5}); err == nil {
+		t.Error("spread > 1 accepted")
+	}
+	if _, err := Randomized(ds, attr, ranked, 10, Params{Spread: math.NaN()}); err == nil {
+		t.Error("NaN spread accepted")
+	}
+	bad := []marketplace.RankedWorker{{Worker: 0, Score: math.NaN(), Rank: 1}}
+	if _, err := Randomized(ds, attr, bad, 1, Params{}); err == nil {
+		t.Error("NaN score accepted")
+	}
+	// Constant-score pool: jitter amplitude is 0, canonical order serves.
+	flat := []marketplace.RankedWorker{
+		{Worker: 3, Score: 0.5, Rank: 1}, {Worker: 1, Score: 0.5, Rank: 2}, {Worker: 2, Score: 0.5, Rank: 3},
+	}
+	page, err := Randomized(ds, attr, flat, 0, Params{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if page[i].Worker != want {
+			t.Fatalf("flat pool not in canonical worker order: %+v", page)
+		}
+	}
+}
+
+func TestRandomizedRegistered(t *testing.T) {
+	fn, err := Lookup("randomized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, attr, ranked := biasedRanking(t, 60, 0, 16)
+	direct, err := Randomized(ds, attr, ranked, 10, Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := fn(ds, attr, ranked, 10, Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i] != via[i] {
+			t.Fatal("registry entry disagrees with Randomized")
+		}
+	}
+}

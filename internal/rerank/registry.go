@@ -22,6 +22,12 @@ type Params struct {
 	// that a fair Bernoulli process would be rejected by the per-prefix
 	// minimum-count tests. 0 selects DefaultAlpha.
 	Alpha float64 `json:"alpha,omitempty"`
+	// Seed seeds the "randomized" re-ranker's jitter; the same seed
+	// always reproduces the same page.
+	Seed uint64 `json:"seed,omitempty"`
+	// Spread is the "randomized" re-ranker's jitter width as a fraction
+	// of the pool's score range, in [0, 1]. 0 selects DefaultSpread.
+	Spread float64 `json:"spread,omitempty"`
 }
 
 // DefaultAlpha is the fair-topk significance used when Params.Alpha is 0,

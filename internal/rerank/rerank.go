@@ -12,7 +12,11 @@
 //     corrected significance adjustment;
 //   - "det-greedy" / "det-cons" / "det-relaxed": the LinkedIn Talent
 //     Search interval-constrained re-rankers (Geyik et al.), every prefix
-//     keeping each group's count within [floor(p·i), ceil(p·i)].
+//     keeping each group's count within [floor(p·i), ceil(p·i)];
+//   - "randomized": proxy-free seeded score perturbation (after
+//     Kliachkin et al.) — the only re-ranker that never reads the
+//     protected column, for when the attribute is unavailable or barred
+//     from serving.
 //
 // Together with package repair this covers the paper's future work on
 // "repairing bias in the context of ranking": repair fixes the scores,

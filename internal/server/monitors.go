@@ -1,0 +1,364 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/drift"
+	"fairrank/internal/scoring"
+)
+
+// This file is the continuous-audit surface: named drift monitors
+// attached to live datasets. A monitor is created from a drift.Spec,
+// seeded with the dataset's current rows scored by the spec's linear
+// weights (so its estimators start from the real population, not from
+// empty), and then fed incrementally via POST .../events. Alarm
+// transitions stream over SSE at GET .../events.
+//
+// Persistence contract: the WAL stores each monitor's spec and alarm
+// states — NOT its event stream. On boot the watch is rebuilt, alarm
+// states are restored FIRST, and the dataset snapshot is replayed as the
+// seed. The seed goes through Watch.Seed — estimators only, no rule
+// evaluation — so the re-seeding transient can neither lose an active
+// alarm nor re-fire it, however large the dataset; on top of that each
+// rule's warmup re-applies to the first live events (warmup counters are
+// deliberately not persisted).
+
+const bucketMonitors = "monitors"
+
+// monitorRecord is the WAL value: everything needed to revive a monitor
+// except its event history, which the estimators re-derive from the
+// dataset seed plus future events.
+type monitorRecord struct {
+	Spec   drift.Spec         `json:"spec"`
+	Alarms []drift.AlarmState `json:"alarms,omitempty"`
+}
+
+// serverMonitor is one live monitor: the watch, its alarm-event hub, and
+// the mutex serializing event ingestion (drift.Watch is single-writer).
+type serverMonitor struct {
+	mu    sync.Mutex
+	watch *drift.Watch
+	hub   *drift.Hub
+}
+
+// seedWatch replays the dataset's rows into a fresh watch as join
+// events: worker ids are the dataset ids, protected values come from the
+// monitored attributes' columns, and scores from the spec's linear
+// weights. Seeding goes through Watch.Seed, so it can never emit alarm
+// transitions — rules only ever interpret live events.
+func seedWatch(w *drift.Watch, ds *dataset.Dataset, spec drift.Spec) error {
+	f, err := scoring.NewLinear(spec.ID, spec.Weights)
+	if err != nil {
+		return err
+	}
+	attrs := make([]int, len(spec.Attributes))
+	for i, name := range spec.Attributes {
+		if attrs[i] = ds.Schema().ProtectedIndex(name); attrs[i] < 0 {
+			return fmt.Errorf("%q is not a protected attribute", name)
+		}
+	}
+	for i := 0; i < ds.N(); i++ {
+		prot := make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			def := ds.Schema().Protected[a]
+			if def.Kind == dataset.Categorical {
+				prot[def.Name] = ds.ProtectedLabel(a, i)
+			} else {
+				prot[def.Name] = ds.RawProtected(a, i)
+			}
+		}
+		ev := drift.Event{
+			Type:      drift.EventJoin,
+			Worker:    ds.ID(i),
+			Protected: prot,
+			Score:     f.Score(ds, i),
+		}
+		if err := w.Seed(ev); err != nil {
+			return fmt.Errorf("seed row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// persistMonitor writes the monitor's current spec + alarm states.
+// Callers hold m.mu.
+func (s *Server) persistMonitor(m *serverMonitor) error {
+	raw, err := json.Marshal(monitorRecord{Spec: m.watch.Spec(), Alarms: m.watch.AlarmStates()})
+	if err != nil {
+		return err
+	}
+	return s.db.Put(bucketMonitors, m.watch.Spec().ID, raw)
+}
+
+// reloadMonitors revives every persisted monitor at boot. Runs after
+// datasets reload; the dataset-delete guard keeps the reference valid.
+func (s *Server) reloadMonitors() error {
+	for _, id := range s.db.Keys(bucketMonitors) {
+		raw, ok := s.db.Get(bucketMonitors, id)
+		if !ok {
+			continue
+		}
+		var rec monitorRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("monitor %q: %w", id, err)
+		}
+		ds, ok := s.datasets[rec.Spec.Dataset]
+		if !ok {
+			return fmt.Errorf("monitor %q: dataset %q missing", id, rec.Spec.Dataset)
+		}
+		w, err := drift.NewWatch(ds.Schema(), rec.Spec)
+		if err != nil {
+			return fmt.Errorf("monitor %q: %w", id, err)
+		}
+		w.SetMetrics(s.metrics)
+		// Restore before seeding: active alarms stay active through the
+		// seed replay (which cannot emit transitions — see seedWatch).
+		w.RestoreAlarms(rec.Alarms)
+		if err := seedWatch(w, ds, rec.Spec); err != nil {
+			return fmt.Errorf("monitor %q: %w", id, err)
+		}
+		s.monitors[id] = &serverMonitor{watch: w, hub: drift.NewHub()}
+	}
+	s.syncMonitorGauge()
+	return nil
+}
+
+func (s *Server) syncMonitorGauge() {
+	s.metrics.Gauge(drift.MetricWatches).Set(float64(len(s.monitors)))
+}
+
+// monitorStatus is the wire shape of GET /v1/monitors[/{id}].
+type monitorStatus struct {
+	drift.Status
+	Dataset string `json:"dataset"`
+}
+
+func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := drift.DecodeSpec(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.monitors[spec.ID]; dup {
+		writeErr(w, http.StatusConflict, fmt.Errorf("monitor %q already exists", spec.ID))
+		return
+	}
+	ds, ok := s.datasets[spec.Dataset]
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataset %q not found", spec.Dataset))
+		return
+	}
+	watch, err := drift.NewWatch(ds.Schema(), spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	watch.SetMetrics(s.metrics)
+	if err := seedWatch(watch, ds, spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m := &serverMonitor{watch: watch, hub: drift.NewHub()}
+	if err := s.persistMonitor(m); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.monitors[spec.ID] = m
+	s.syncMonitorGauge()
+	writeJSON(w, http.StatusCreated, monitorStatus{Status: watch.Status(), Dataset: spec.Dataset})
+}
+
+func (s *Server) handleListMonitors(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.monitors))
+	for id := range s.monitors {
+		ids = append(ids, id)
+	}
+	mons := make([]*serverMonitor, 0, len(ids))
+	sort.Strings(ids)
+	for _, id := range ids {
+		mons = append(mons, s.monitors[id])
+	}
+	s.mu.RUnlock()
+	out := make([]monitorStatus, len(mons))
+	for i, m := range mons {
+		m.mu.Lock()
+		out[i] = monitorStatus{Status: m.watch.Status(), Dataset: m.watch.Spec().Dataset}
+		m.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookupMonitor(id string) (*serverMonitor, bool) {
+	s.mu.RLock()
+	m, ok := s.monitors[id]
+	s.mu.RUnlock()
+	return m, ok
+}
+
+func (s *Server) handleGetMonitor(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupMonitor(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("monitor %q not found", r.PathValue("id")))
+		return
+	}
+	m.mu.Lock()
+	st := monitorStatus{Status: m.watch.Status(), Dataset: m.watch.Spec().Dataset}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDeleteMonitor(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	m, ok := s.monitors[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, fmt.Errorf("monitor %q not found", id))
+		return
+	}
+	if err := s.db.Delete(bucketMonitors, id); err != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	delete(s.monitors, id)
+	s.syncMonitorGauge()
+	s.mu.Unlock()
+	// Close outside the server lock: Close walks subscriber channels.
+	m.hub.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// monitorEventsResponse is the wire shape of POST .../events.
+type monitorEventsResponse struct {
+	// Applied counts events accepted before the first failure (all of
+	// them on success); estimator state reflects exactly those events.
+	Applied int `json:"applied"`
+	// Alarms are the transitions this batch produced, in order.
+	Alarms []drift.AlarmEvent `json:"alarms"`
+}
+
+func (s *Server) handleMonitorEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := s.lookupMonitor(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("monitor %q not found", id))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	events, err := drift.DecodeEvents(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := monitorEventsResponse{Alarms: []drift.AlarmEvent{}}
+	m.mu.Lock()
+	for i, ev := range events {
+		alarms, err := m.watch.Apply(ev)
+		if err != nil {
+			m.mu.Unlock()
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("event %d (after %d applied): %w", i, resp.Applied, err))
+			return
+		}
+		resp.Applied++
+		for _, a := range alarms {
+			resp.Alarms = append(resp.Alarms, m.hub.Publish(a))
+		}
+	}
+	var persistErr error
+	if len(resp.Alarms) > 0 {
+		// Transitions changed durable alarm state; persist before
+		// acknowledging so a crash cannot resurrect a cleared alarm or
+		// forget a fired one.
+		persistErr = s.persistMonitor(m)
+	}
+	m.mu.Unlock()
+	if persistErr != nil {
+		writeErr(w, http.StatusInternalServerError, persistErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMonitorBaseline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := s.lookupMonitor(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("monitor %q not found", id))
+		return
+	}
+	m.mu.Lock()
+	sealed := m.watch.SealBaseline()
+	err := s.persistMonitor(m)
+	m.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]map[string]float64{"sealed": sealed})
+}
+
+// handleMonitorEventStream streams a monitor's alarm transitions as
+// server-sent events: bounded replay first, then live transitions until
+// the client disconnects or the monitor is deleted (hub closed).
+func (s *Server) handleMonitorEventStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := s.lookupMonitor(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("monitor %q not found", id))
+		return
+	}
+	replay, live, cancel := m.hub.Subscribe()
+	defer cancel()
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeEvent := func(ev drift.AlarmEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // monitor deleted
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -26,7 +26,9 @@ type rankPostRequest struct {
 	// Algorithm is a registered re-ranker name, or "" for no mitigation.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Attribute names the protected attribute whose groups the re-ranker
-	// balances; required whenever Algorithm is set.
+	// balances. Required by the group-aware re-rankers; may be empty for
+	// proxy-free ones ("randomized"), in which case the group diagnostics
+	// (disparity, audit) are skipped — there is no attribute to audit by.
 	Attribute string `json:"attribute,omitempty"`
 	// Params carries the per-algorithm knobs (epsilon, alpha).
 	Params rerank.Params `json:"params,omitempty"`
@@ -123,10 +125,15 @@ func (s *Server) handleRankPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	attr := ds.Schema().ProtectedIndex(req.Attribute)
-	if attr < 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("%q is not a protected attribute", req.Attribute))
-		return
+	// An empty attribute is attr = -1: proxy-free re-rankers accept it
+	// (they never read the protected column), group-aware ones reject it
+	// with their usual out-of-range error.
+	attr := -1
+	if req.Attribute != "" {
+		if attr = ds.Schema().ProtectedIndex(req.Attribute); attr < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("%q is not a protected attribute", req.Attribute))
+			return
+		}
 	}
 	page, err := rerank.Serve(s.metrics, req.Algorithm, ds, attr, pool, k, req.Params)
 	switch {
@@ -147,13 +154,15 @@ func (s *Server) handleRankPost(w http.ResponseWriter, r *http.Request) {
 	if ndcg, err := marketplace.NDCG(relevance, page); err == nil {
 		resp.NDCG = &ndcg
 	}
-	if exp, err := marketplace.GroupExposure(ds, attr, before); err == nil {
-		resp.DisparityBefore = finitePtr(marketplace.ExposureDisparity(exp))
+	if attr >= 0 {
+		if exp, err := marketplace.GroupExposure(ds, attr, before); err == nil {
+			resp.DisparityBefore = finitePtr(marketplace.ExposureDisparity(exp))
+		}
+		if exp, err := marketplace.GroupExposure(ds, attr, page); err == nil {
+			resp.DisparityAfter = finitePtr(marketplace.ExposureDisparity(exp))
+		}
 	}
-	if exp, err := marketplace.GroupExposure(ds, attr, page); err == nil {
-		resp.DisparityAfter = finitePtr(marketplace.ExposureDisparity(exp))
-	}
-	if req.Audit {
+	if req.Audit && attr >= 0 {
 		// The audit is restricted to the mitigated attribute: it answers
 		// "what did this re-ranker change", not "is the page fair along
 		// every protected column".

@@ -32,6 +32,15 @@
 //	GET  /v1/jobs/{id}                job status + result
 //	DELETE /v1/jobs/{id}              cancel a queued or running job
 //	GET  /v1/jobs/{id}/events         follow job lifecycle + progress (SSE)
+//	POST /v1/monitors                 create a continuous-audit drift monitor
+//	                                  (drift.Spec JSON; seeded from its dataset)
+//	GET  /v1/monitors                 list monitor statuses
+//	GET  /v1/monitors/{id}            one monitor's status (estimators + alarms)
+//	DELETE /v1/monitors/{id}          delete a monitor (closes its event stream)
+//	POST /v1/monitors/{id}/events     feed a batch of join/leave/rescore events,
+//	                                  returns alarm transitions
+//	GET  /v1/monitors/{id}/events     follow alarm transitions (SSE)
+//	POST /v1/monitors/{id}/baseline   seal window-vs-baseline comparison levels
 //	POST /v1/rerank                   exposure-parity re-rank a task's page
 //	POST /v1/repair                   before/after unfairness of score repair
 //	POST /v1/explain                  per-attribute importance for a function
@@ -114,6 +123,8 @@ type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset.Dataset
 	sessions map[string]*uploadSession
+	// monitors are the live continuous-audit watches (see monitors.go).
+	monitors map[string]*serverMonitor
 	// hydrating guards per-dataset snapshot hydration (cluster.go).
 	hydrating map[string]bool
 	// retired holds mmap-backed datasets that were replaced or deleted.
@@ -159,6 +170,7 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 		db:         db,
 		datasets:   map[string]*dataset.Dataset{},
 		sessions:   map[string]*uploadSession{},
+		monitors:   map[string]*serverMonitor{},
 		hydrating:  map[string]bool{},
 		auditLimit: 4,
 		metrics:    telemetry.NewRegistry(),
@@ -217,6 +229,10 @@ func New(db *store.DB, opts ...ServerOption) (*Server, error) {
 	}
 	if err := s.reloadUploads(); err != nil {
 		return nil, fmt.Errorf("server: reload uploads: %w", err)
+	}
+	// Monitors revive after datasets so the seed replay can read rows.
+	if err := s.reloadMonitors(); err != nil {
+		return nil, fmt.Errorf("server: reload monitors: %w", err)
 	}
 	s.auditSeq = db.Len(bucketAudits)
 	// The queue starts after datasets reload so recovered jobs can
@@ -310,6 +326,13 @@ func (s *Server) Handler() http.Handler {
 	handleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	handleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	handleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	handleFunc("POST /v1/monitors", s.handleCreateMonitor)
+	handleFunc("GET /v1/monitors", s.handleListMonitors)
+	handleFunc("GET /v1/monitors/{id}", s.handleGetMonitor)
+	handleFunc("DELETE /v1/monitors/{id}", s.handleDeleteMonitor)
+	handleFunc("POST /v1/monitors/{id}/events", s.handleMonitorEvents)
+	handleFunc("GET /v1/monitors/{id}/events", s.handleMonitorEventStream)
+	handleFunc("POST /v1/monitors/{id}/baseline", s.handleMonitorBaseline)
 	handleFunc("GET /v1/cluster", s.handleClusterStatus)
 	handleFunc("GET /v1/cluster/ping", s.handleClusterPing)
 	handleFunc("POST /v1/cluster/steal", s.handleClusterSteal)
@@ -509,6 +532,15 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		if json.Unmarshal(raw, &t) == nil && t.Dataset == name {
 			writeErr(w, http.StatusConflict,
 				fmt.Errorf("task %q still references dataset %q", t.ID, name))
+			return
+		}
+	}
+	// Same for monitors: a revived monitor must be able to re-seed from
+	// its dataset at the next boot.
+	for id, m := range s.monitors {
+		if m.watch.Spec().Dataset == name {
+			writeErr(w, http.StatusConflict,
+				fmt.Errorf("monitor %q still references dataset %q", id, name))
 			return
 		}
 	}

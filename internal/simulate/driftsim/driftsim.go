@@ -1,0 +1,354 @@
+// Package driftsim runs the population-shift drift scenario: a serving
+// loop where a marketplace ranks a fixed worker pool step after step, a
+// fair re-ranker mitigates each served page, and a continuous-audit
+// monitor (internal/drift) observes the served pages as an event stream.
+// Partway through, the scenario injects drift — one group's scores decay
+// progressively, the shape the paper's static audits cannot see — and
+// the question becomes operational: how many steps until the monitor's
+// window-vs-baseline alarm fires, and what does the windowed unfairness
+// trajectory look like under each mitigation?
+//
+// The headline comparison is proxy-free "randomized" (never reads the
+// protected column) against group-aware "det-greedy": the scenario
+// quantifies what attribute-blindness costs — or doesn't — in detection
+// latency and steady-state windowed unfairness.
+//
+// The monitor is behind the MonitorSink interface so the same scenario
+// drives an in-process drift.Watch (this package) or a fairrankd server
+// over HTTP (the server's e2e tests): the scenario is the load
+// generator, the sink is wherever the audit lives.
+package driftsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/drift"
+	"fairrank/internal/marketplace"
+	"fairrank/internal/rerank"
+	"fairrank/internal/rng"
+	"fairrank/internal/simulate"
+)
+
+// Spec configures one drift scenario.
+type Spec struct {
+	// Population is the candidate pool size (default 500, the paper's
+	// small population).
+	Population int
+	// Seed drives the base scores, the jitter, and nothing else — the
+	// same spec always reproduces the same scenario.
+	Seed uint64
+	// Steps is the number of serving steps.
+	Steps int
+	// ShiftAt is the step at which the minority's scores begin to decay;
+	// the baseline is sealed on the step before.
+	ShiftAt int
+	// Shift is the total score depression at full ramp, in score units
+	// (scores live in [0, 1]).
+	Shift float64
+	// Ramp is the number of steps over which the shift reaches full
+	// strength (0 = immediate).
+	Ramp int
+	// K is the page size served each step.
+	K int
+	// Attribute is the protected attribute that drifts and is audited.
+	Attribute string
+	// Minority is the Attribute label whose scores decay.
+	Minority string
+	// Mitigations are the re-ranker names RunDrift compares.
+	Mitigations []string
+	// Spread is the "randomized" re-ranker's jitter width (see
+	// rerank.Params.Spread); 0 selects rerank.DefaultSpread. At the
+	// default the jitter is narrower than the injected shift, so the
+	// drifted group falls out of the served pages entirely — a
+	// page-observing monitor then reads unfairness 0 (only one group
+	// left in its window) and the drift goes undetected. Widening the
+	// spread keeps the group visible and detectable; the scenario tests
+	// pin both regimes.
+	Spread float64
+	// Monitor is the audit spec each mitigation's sink is built from; its
+	// Attributes must be exactly {Attribute}. Zero-value selects
+	// DefaultMonitorSpec.
+	Monitor drift.Spec
+}
+
+// DefaultMonitorSpec is the scenario's stock audit: a window spanning
+// four pages, and the three standard rules — an absolute backstop, a
+// slope detector, and the window-vs-baseline drift detector that defines
+// detection latency. Warmup covers the window so re-seeding after a
+// restart stays silent.
+func DefaultMonitorSpec(id, attribute string, k int) drift.Spec {
+	window := 4 * k
+	return drift.Spec{
+		ID:         id,
+		Dataset:    "driftsim",
+		Attributes: []string{attribute},
+		Weights:    map[string]float64{"ApprovalRate": 1},
+		Window:     window,
+		Rules: []drift.RuleSpec{
+			{Name: "hard", Type: drift.RuleThreshold, Threshold: 0.5, Hysteresis: 0.2},
+			{Name: "slope", Type: drift.RuleDelta, Delta: 0.3, Lookback: window, Hysteresis: 0.2},
+			{Name: "drift", Type: drift.RuleBaseline, Delta: 0.1, Hysteresis: 0.25, Cooldown: window, Warmup: window},
+		},
+	}
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Population == 0 {
+		s.Population = simulate.SmallPopulation
+	}
+	if s.Steps == 0 {
+		s.Steps = 60
+	}
+	if s.ShiftAt == 0 {
+		s.ShiftAt = s.Steps / 3
+	}
+	if s.Shift == 0 {
+		s.Shift = 0.5
+	}
+	if s.K == 0 {
+		s.K = 20
+	}
+	if s.Attribute == "" {
+		s.Attribute = "Gender"
+	}
+	if s.Minority == "" {
+		s.Minority = "Female"
+	}
+	if len(s.Mitigations) == 0 {
+		s.Mitigations = []string{"randomized", "det-greedy"}
+	}
+	if s.Monitor.ID == "" {
+		s.Monitor = DefaultMonitorSpec("drift-scenario", s.Attribute, s.K)
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Steps < 2 || s.K < 1 || s.Population < s.K {
+		return fmt.Errorf("driftsim: need steps >= 2, k >= 1 and population >= k (have %d/%d/%d)",
+			s.Steps, s.K, s.Population)
+	}
+	if s.ShiftAt < 1 || s.ShiftAt >= s.Steps {
+		return fmt.Errorf("driftsim: shift step %d outside (0, %d)", s.ShiftAt, s.Steps)
+	}
+	if !(s.Shift > 0) || s.Shift > 1 || s.Ramp < 0 {
+		return fmt.Errorf("driftsim: bad shift %v / ramp %d", s.Shift, s.Ramp)
+	}
+	if len(s.Monitor.Attributes) != 1 || s.Monitor.Attributes[0] != s.Attribute {
+		return fmt.Errorf("driftsim: monitor must audit exactly %q", s.Attribute)
+	}
+	return nil
+}
+
+// MonitorSink is where a scenario's served pages are audited. The local
+// implementation wraps a drift.Watch; the server e2e suite implements it
+// over POST /v1/monitors/{id}/events.
+type MonitorSink interface {
+	// Send feeds one batch of events, returning any alarm transitions.
+	Send(events []drift.Event) ([]drift.AlarmEvent, error)
+	// SealBaseline freezes the current estimate as every
+	// window-vs-baseline rule's comparison level.
+	SealBaseline() error
+	// Unfairness reads the windowed unfairness estimate.
+	Unfairness() (float64, error)
+}
+
+// WatchSink is the in-process MonitorSink: a drift.Watch fed directly.
+type WatchSink struct{ Watch *drift.Watch }
+
+// NewWatchSink builds a watch over the scenario schema from spec.
+func NewWatchSink(schema *dataset.Schema, spec drift.Spec) (*WatchSink, error) {
+	w, err := drift.NewWatch(schema, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &WatchSink{Watch: w}, nil
+}
+
+func (s *WatchSink) Send(events []drift.Event) ([]drift.AlarmEvent, error) {
+	var out []drift.AlarmEvent
+	for _, ev := range events {
+		alarms, err := s.Watch.Apply(ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, alarms...)
+	}
+	return out, nil
+}
+
+func (s *WatchSink) SealBaseline() error {
+	s.Watch.SealBaseline()
+	return nil
+}
+
+func (s *WatchSink) Unfairness() (float64, error) {
+	return s.Watch.Unfairness(drift.SourceWindow)
+}
+
+// Run is one mitigation's trip through the scenario.
+type Run struct {
+	Mitigation string
+	// Trajectory is the windowed unfairness after each step.
+	Trajectory []float64
+	// Alarms are every transition the monitor emitted, in order.
+	Alarms []drift.AlarmEvent
+	// DetectionStep is the step at which the first window-vs-baseline
+	// "fired" transition arrived, or -1 if the drift went undetected.
+	// DetectionLatency is that step minus ShiftAt.
+	DetectionStep    int
+	DetectionLatency int
+	// Baseline is the sealed pre-drift estimate; Final the last step's.
+	Baseline float64
+	Final    float64
+}
+
+// Result compares every requested mitigation over the same drift.
+type Result struct {
+	Spec Spec
+	Runs []Run
+}
+
+// RunDrift runs the scenario once per configured mitigation, each
+// against its own in-process watch built from spec.Monitor.
+func RunDrift(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec}
+	for _, name := range spec.Mitigations {
+		sink, err := NewWatchSink(simulate.PaperSchema(), spec.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		run, err := RunOne(spec, name, sink)
+		if err != nil {
+			return nil, fmt.Errorf("driftsim: %s: %w", name, err)
+		}
+		res.Runs = append(res.Runs, *run)
+	}
+	return res, nil
+}
+
+// RunOne drives the scenario for a single mitigation against the given
+// sink. The sink's monitor must be fresh (unsealed, no events).
+func RunOne(spec Spec, mitigation string, sink MonitorSink) (*Run, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	fn, err := rerank.Lookup(mitigation)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := simulate.PaperWorkers(spec.Population, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	attr := ds.Schema().ProtectedIndex(spec.Attribute)
+	if attr < 0 {
+		return nil, fmt.Errorf("driftsim: %q is not a protected attribute", spec.Attribute)
+	}
+	// Base scores are attribute-independent — the pre-drift world is fair
+	// by construction, so the sealed baseline is a genuinely fair level.
+	r := rng.New(spec.Seed)
+	base := make([]float64, ds.N())
+	for i := range base {
+		base[i] = r.Float64()
+	}
+	minority := make([]bool, ds.N())
+	for i := range minority {
+		minority[i] = ds.ProtectedLabel(attr, i) == spec.Minority
+	}
+
+	run := &Run{Mitigation: mitigation, DetectionStep: -1, DetectionLatency: -1}
+	scores := make([]float64, ds.N())
+	for step := 0; step < spec.Steps; step++ {
+		// Progressive minority shift from ShiftAt over Ramp steps.
+		depress := 0.0
+		if step >= spec.ShiftAt {
+			progress := 1.0
+			if spec.Ramp > 0 {
+				progress = math.Min(1, float64(step-spec.ShiftAt+1)/float64(spec.Ramp))
+			}
+			depress = spec.Shift * progress
+		}
+		for i := range scores {
+			scores[i] = base[i]
+			if minority[i] {
+				scores[i] = math.Max(0, base[i]-depress)
+			}
+		}
+		pool := rankPool(scores)
+		page, err := fn(ds, attr, pool, spec.K, rerank.Params{
+			Seed:   spec.Seed + uint64(step)*0x9e3779b97f4a7c15,
+			Spread: spec.Spread,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The served page becomes this step's observed cohort: synthetic
+		// ids keyed by (step, rank) so the stream never collides, carrying
+		// the served worker's protected value and served score.
+		events := make([]drift.Event, len(page))
+		for pos, rw := range page {
+			events[pos] = drift.Event{
+				Type:      drift.EventJoin,
+				Worker:    fmt.Sprintf("s%d-r%d", step, pos+1),
+				Protected: map[string]any{spec.Attribute: ds.ProtectedLabel(attr, rw.Worker)},
+				Score:     math.Min(1, math.Max(0, rw.Score)),
+			}
+		}
+		alarms, err := sink.Send(events)
+		if err != nil {
+			return nil, err
+		}
+		run.Alarms = append(run.Alarms, alarms...)
+		if run.DetectionStep < 0 {
+			for _, a := range alarms {
+				if a.RuleType == drift.RuleBaseline && a.Type == drift.AlarmFired {
+					run.DetectionStep = step
+					run.DetectionLatency = step - spec.ShiftAt
+					break
+				}
+			}
+		}
+		u, err := sink.Unfairness()
+		if err != nil {
+			return nil, err
+		}
+		run.Trajectory = append(run.Trajectory, u)
+		// Seal on the last pre-drift step, once the window is fully warm.
+		if step == spec.ShiftAt-1 {
+			if err := sink.SealBaseline(); err != nil {
+				return nil, err
+			}
+			run.Baseline = u
+		}
+	}
+	run.Final = run.Trajectory[len(run.Trajectory)-1]
+	return run, nil
+}
+
+// rankPool turns a score vector into the full ranked candidate pool
+// (score desc, worker asc — the marketplace's canonical order).
+func rankPool(scores []float64) []marketplace.RankedWorker {
+	pool := make([]marketplace.RankedWorker, len(scores))
+	for i, s := range scores {
+		pool[i] = marketplace.RankedWorker{Worker: i, Score: s}
+	}
+	sort.SliceStable(pool, func(a, b int) bool {
+		if pool[a].Score != pool[b].Score {
+			return pool[a].Score > pool[b].Score
+		}
+		return pool[a].Worker < pool[b].Worker
+	})
+	for i := range pool {
+		pool[i].Rank = i + 1
+	}
+	return pool
+}
